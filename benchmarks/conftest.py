@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Generated apps are cached per session: generation is deterministic, so
+every benchmark sees the identical program, and the (non-trivial)
+generation cost is excluded from the measured analysis times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.apps import APP_SPECS, spec_by_name
+from repro.corpus.generator import generate_app
+
+# The paper's full corpus; benchmarks parameterise over these names.
+ALL_APPS = [spec.name for spec in APP_SPECS]
+
+# A representative spread (small / medium / large / outlier) for
+# benchmarks where running all 20 would dominate the suite's runtime.
+REPRESENTATIVE_APPS = ["APV", "ConnectBot", "Astrid", "K9", "XBMC"]
+
+_app_cache = {}
+
+
+def cached_app(name: str):
+    if name not in _app_cache:
+        _app_cache[name] = generate_app(spec_by_name(name))
+    return _app_cache[name]
+
+
+@pytest.fixture(scope="session")
+def app_factory():
+    return cached_app

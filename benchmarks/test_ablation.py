@@ -1,0 +1,97 @@
+"""E7 — ablations of the design choices DESIGN.md calls out.
+
+* GUI modelling vs the Andersen baseline (the motivation claim);
+* cast type filtering (needed for ConnectBot's perfect receivers);
+* the FindView3 children-only refinement (getCurrentView et al.).
+"""
+
+import pytest
+
+from repro import AnalysisOptions, analyze
+from repro.baseline import andersen_analyze
+from repro.core.metrics import compute_graph_stats, compute_precision
+from repro.corpus.connectbot import build_connectbot_example
+
+from conftest import cached_app
+
+
+def test_baseline_resolves_nothing(benchmark):
+    """A GUI-oblivious reference analysis resolves 0% of find-view
+    operations; every view in the app is a candidate."""
+    app = cached_app("ConnectBot")
+
+    def run():
+        baseline = andersen_analyze(app)
+        resolved = sum(
+            1 for s in baseline.findview_sites if baseline.is_resolved(s)
+        )
+        return resolved, len(baseline.findview_sites)
+
+    resolved, total = benchmark(run)
+    assert total > 0
+    assert resolved == 0
+
+
+def test_gui_analysis_beats_baseline_candidates(benchmark):
+    """The GUI analysis narrows find-view results from 'any view'
+    (hundreds) to ~1."""
+    app = cached_app("K9")
+
+    def run():
+        result = analyze(app)
+        stats = compute_graph_stats(result)
+        metrics = compute_precision(result)
+        return stats.views_inflated + stats.views_allocated, metrics.results
+
+    candidates, gui_results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert candidates > 100
+    assert gui_results < 2.0
+    assert gui_results * 50 < candidates
+
+
+def test_cast_filtering_ablation(benchmark):
+    """Without cast filtering, the running example loses its perfect
+    receiver precision (the TerminalView pollutes the flip field)."""
+    app = build_connectbot_example()
+
+    def run():
+        with_filter = compute_precision(analyze(app)).receivers
+        without = compute_precision(
+            analyze(app, AnalysisOptions(filter_casts=False))
+        ).receivers
+        return with_filter, without
+
+    with_filter, without = benchmark(run)
+    assert with_filter == pytest.approx(1.0)
+    assert without > with_filter
+
+
+def test_findview3_refinement_ablation(benchmark):
+    """Disabling the children-only refinement makes getCurrentView()
+    return whole subtrees, growing the results average."""
+    app = build_connectbot_example()
+
+    def run():
+        refined = analyze(app)
+        unrefined = analyze(
+            app, AnalysisOptions(findview3_children_only_refinement=False)
+        )
+        op = next(o for o in refined.graph.ops() if o.kind.value == "FindView3")
+        return (
+            len(refined.op_results(op)),
+            len(unrefined.op_results(
+                next(o for o in unrefined.graph.ops() if o.kind.value == "FindView3")
+            )),
+        )
+
+    refined_count, unrefined_count = benchmark(run)
+    assert refined_count == 1  # the current child only
+    assert unrefined_count > refined_count  # whole subtree
+
+
+def test_baseline_is_cheaper_but_useless(benchmark):
+    """The baseline runs (fast) but answers no GUI question."""
+    app = cached_app("TippyTipper")
+    result = benchmark(lambda: andersen_analyze(app))
+    assert result.findview_sites
+    assert all(not result.is_resolved(s) for s in result.findview_sites)

@@ -1,0 +1,57 @@
+"""E4/E5 — Figures 3 and 4: the running example's constraint graph."""
+
+import pytest
+
+from repro import analyze
+from repro.bench.figures import run_figure3, run_figure4, verify_figure4
+from repro.corpus.connectbot import build_connectbot_example
+
+
+def test_figure3(benchmark):
+    """Figure 3: operation nodes, id nodes, and flow edges exist and
+    render; the op inventory matches the paper's Figure 3 nodes."""
+    text = benchmark(run_figure3)
+    for expected in (
+        "FindView3_5",
+        "FindView1_6",
+        "Inflate2_9",
+        "FindView2_10",
+        "FindView2_13",
+        "SetListener_16",
+        "Inflate1_19",
+        "SetId_22",
+        "AddView2_23",
+        "AddView2_25",
+        "R.layout.act_console",
+        "R.id.button_esc",
+    ):
+        assert expected in text, expected
+
+
+def test_figure4(benchmark):
+    """Figure 4: all relationship edges described in the paper exist."""
+
+    def run():
+        result = analyze(build_connectbot_example())
+        return run_figure4(result), verify_figure4(result)
+
+    text, missing = benchmark(run)
+    assert missing == []
+    assert "ViewFlipper_9.1.1 => RelativeLayout_19.1" in text
+    assert "RelativeLayout_19.1 => TerminalView_21" in text
+    assert "TerminalView_21 => R.id.console_flip" in text
+    assert "ImageView_9.1.2.1 => EscapeButtonListener_15" in text
+
+
+def test_figure4_ancestor_claim(benchmark):
+    """'the root node RelativeLayout_9.1 is an ancestor of seven nodes'."""
+
+    def count():
+        result = analyze(build_connectbot_example())
+        root = next(
+            v for v in result.graph.infl_view_nodes()
+            if str(v) == "RelativeLayout_9.1"
+        )
+        return len(result.graph.descendants_of(root))
+
+    assert benchmark(count) == 7

@@ -1,0 +1,63 @@
+"""Scalability sweep: analysis cost vs application size.
+
+Not a paper table, but quantifies the paper's "low cost" claim: the
+analysis is expected to scale near-linearly in application size. The
+sweep generates a family of synthetic apps that grow uniformly in
+classes/methods/layouts/operations and measures the full analysis.
+"""
+
+import pytest
+
+from repro import analyze
+from repro.corpus.generator import generate_app
+from repro.corpus.spec import AppSpec
+
+SCALES = [1, 2, 4, 8]
+
+
+def _scaled_spec(scale: int) -> AppSpec:
+    return AppSpec(
+        name=f"scale{scale}",
+        classes=60 * scale,
+        methods=300 * scale,
+        layout_ids=6 * scale,
+        view_ids=30 * scale,
+        views_inflated=60 * scale,
+        views_allocated=4 * scale,
+        listeners=8 * scale,
+        ops_inflate=6 * scale,
+        ops_findview=20 * scale,
+        ops_addview=3 * scale,
+        ops_setid=2 * scale,
+        ops_setlistener=8 * scale,
+        recv_avg=1.2,
+        result_avg=1.1,
+        param_avg=1.1,
+        listener_avg=1.1,
+        seed=900 + scale,
+    )
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_analysis_scales(benchmark, scale):
+    app = generate_app(_scaled_spec(scale))
+    result = benchmark.pedantic(lambda: analyze(app), rounds=2, iterations=1)
+    assert result.rounds < 30
+
+
+def test_growth_is_subquadratic(benchmark):
+    """Time(8x) / Time(1x) must stay well under the 64x a quadratic
+    analysis would exhibit."""
+
+    def sweep():
+        times = {}
+        for scale in (1, 8):
+            app = generate_app(_scaled_spec(scale))
+            # Median of three runs to damp noise.
+            runs = sorted(analyze(app).solve_seconds for _ in range(3))
+            times[scale] = runs[1]
+        return times
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    ratio = times[8] / max(times[1], 1e-4)
+    assert ratio < 40, f"8x size cost {ratio:.1f}x time (expected near-linear)"

@@ -1,0 +1,76 @@
+"""E1 — Table 1: application and constraint-graph statistics.
+
+Regenerates the Table 1 rows and checks them against the target specs
+(the paper's counts, reconstructed where illegible — see
+EXPERIMENTS.md). The benchmarked operation is constraint-graph
+construction + analysis + statistics for each representative app.
+"""
+
+import pytest
+
+from repro import analyze
+from repro.core.metrics import compute_graph_stats
+from repro.corpus.apps import APP_SPECS, spec_by_name
+
+from conftest import REPRESENTATIVE_APPS, cached_app
+
+
+@pytest.mark.parametrize("app_name", REPRESENTATIVE_APPS)
+def test_table1_row(benchmark, app_name):
+    app = cached_app(app_name)
+    spec = spec_by_name(app_name)
+
+    def row():
+        return compute_graph_stats(analyze(app))
+
+    stats = benchmark.pedantic(row, rounds=2, iterations=1)
+    assert stats.classes == spec.classes
+    assert stats.methods == spec.methods
+    assert stats.layout_ids == spec.layout_ids
+    assert stats.view_ids == spec.view_ids
+    assert stats.views_inflated == spec.views_inflated
+    assert stats.views_allocated == spec.views_allocated
+    assert stats.listeners == spec.listeners
+    assert stats.ops_inflate == spec.ops_inflate
+    assert stats.ops_findview == spec.ops_findview
+    assert stats.ops_addview == spec.ops_addview
+    assert stats.ops_setid == spec.ops_setid
+    assert stats.ops_setlistener == spec.ops_setlistener
+
+
+def test_table1_all_twenty_apps_match(benchmark):
+    """Every corpus row matches the target statistics exactly."""
+
+    def full_table():
+        from repro.bench.table1 import run_table1
+
+        return run_table1()
+
+    rows = benchmark.pedantic(full_table, rounds=1, iterations=1)
+    assert len(rows) == 20
+    mismatched = [r.spec.name for r in rows if not r.matches_spec()]
+    assert mismatched == []
+
+
+def test_table1_qualitative_claims(benchmark):
+    """Section 5's observations about the corpus hold."""
+
+    def claims():
+        from repro.bench.table1 import run_table1
+
+        return run_table1()
+
+    rows = benchmark.pedantic(claims, rounds=1, iterations=1)
+    by_name = {r.spec.name: r.stats for r in rows}
+    # "explicitly allocated views are also present in 15 out of the 20"
+    with_allocs = sum(1 for s in by_name.values() if s.views_allocated > 0)
+    assert with_allocs == 15
+    # "add-child operations occur in all but four applications"
+    without_addview = sum(1 for s in by_name.values() if s.ops_addview == 0)
+    assert without_addview == 4
+    # XML layouts are used pervasively.
+    assert all(s.layout_ids > 0 and s.views_inflated > 0 for s in by_name.values())
+    # Most views are inflated.
+    assert all(
+        s.views_inflated >= s.views_allocated for s in by_name.values()
+    )

@@ -1,0 +1,137 @@
+"""Test generation: GUI tuples and the activity transition graph.
+
+Section 6 describes test generation driven by tuples (activity, GUI
+object, event, handler) and an activity transition graph. This example
+builds a three-screen app (list -> detail -> settings), extracts the
+tuples and transitions, prints a DOT graph, and derives event sequences
+(test plans) covering every transition.
+
+Run:  python examples/test_generation.py
+"""
+
+from repro import analyze
+from repro.clients import build_gui_model, build_transition_graph
+from repro.frontend import load_app_from_sources
+
+SOURCE = """
+package shop;
+
+import android.app.Activity;
+import android.view.View;
+import android.widget.Button;
+
+class ListActivity extends Activity {
+    void onCreate() {
+        this.setContentView(R.layout.list);
+        View b = this.findViewById(R.id.open_item);
+        Button open = (Button) b;
+        OpenDetail h = new OpenDetail();
+        open.setOnClickListener(h);
+        View s = this.findViewById(R.id.open_settings);
+        Button settings = (Button) s;
+        OpenSettings g = new OpenSettings();
+        settings.setOnClickListener(g);
+    }
+}
+
+class DetailActivity extends Activity {
+    void onCreate() {
+        this.setContentView(R.layout.detail);
+        View b = this.findViewById(R.id.back);
+        Button back = (Button) b;
+        OpenList h = new OpenList();
+        back.setOnClickListener(h);
+    }
+}
+
+class SettingsActivity extends Activity {
+    void onCreate() {
+        this.setContentView(R.layout.settings);
+    }
+}
+
+class OpenDetail implements View.OnClickListener {
+    void onClick(View v) {
+        DetailActivity next = new DetailActivity();
+        next.launch();
+    }
+}
+
+class OpenSettings implements View.OnClickListener {
+    void onClick(View v) {
+        SettingsActivity next = new SettingsActivity();
+        next.launch();
+    }
+}
+
+class OpenList implements View.OnClickListener {
+    void onClick(View v) {
+        ListActivity next = new ListActivity();
+        next.launch();
+    }
+}
+"""
+
+LAYOUTS = {
+    "list": """
+        <LinearLayout>
+            <Button android:id="@+id/open_item"/>
+            <Button android:id="@+id/open_settings"/>
+        </LinearLayout>
+    """,
+    "detail": '<LinearLayout><Button android:id="@+id/back"/></LinearLayout>',
+    "settings": '<LinearLayout><TextView android:id="@+id/about"/></LinearLayout>',
+}
+
+# `launch()` stands in for the Intent machinery (out of ALite's scope);
+# the transition client keys on activity instantiation in handler code.
+EXTRA = """
+package shop;
+
+class Placeholder { }
+"""
+
+
+def main() -> None:
+    sources = [SOURCE + "\n"]
+    # ALite has no Intents; give activities a `launch` method so the
+    # handler code above type-checks.
+    patched = SOURCE.replace(
+        "class ListActivity extends Activity {",
+        "class ListActivity extends Activity {\n    void launch() { }",
+    ).replace(
+        "class DetailActivity extends Activity {",
+        "class DetailActivity extends Activity {\n    void launch() { }",
+    ).replace(
+        "class SettingsActivity extends Activity {",
+        "class SettingsActivity extends Activity {\n    void launch() { }",
+    )
+    app = load_app_from_sources("shop", [patched], LAYOUTS)
+    result = analyze(app)
+
+    print("== GUI model ==")
+    model = build_gui_model(result)
+    print(model.to_text())
+    print(f"\nwidgets: {model.total_widgets()}, interactive: {model.total_interactive()}")
+
+    print("\n== Tuples ==")
+    graph = build_transition_graph(result)
+    for t in graph.tuples:
+        print(f"  ({t.activity_class.rsplit('.',1)[-1]}, {t.view}, "
+              f"{t.event.value}, {t.handler})")
+
+    print("\n== Transition graph (DOT) ==")
+    print(graph.to_dot())
+
+    print("\n== Generated test plans (one per transition) ==")
+    for i, transition in enumerate(graph.transitions, 1):
+        src = transition.source.rsplit(".", 1)[-1]
+        dst = transition.target.rsplit(".", 1)[-1]
+        print(f"  plan {i}: launch {src}; "
+              f"{transition.trigger.event.value} on {transition.trigger.view}; "
+              f"assert current activity is {dst}")
+    assert graph.edge_count() >= 3
+
+
+if __name__ == "__main__":
+    main()

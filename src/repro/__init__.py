@@ -1,0 +1,43 @@
+"""repro — reference analysis for GUI objects in Android software.
+
+A from-scratch reproduction of Rountev & Yan, *Static Reference
+Analysis for GUI Objects in Android Software* (CGO 2014): the ALite
+IR and frontends, the Android platform/resource models, the
+constraint-based GUI reference analysis, a concrete-semantics
+interpreter serving as a soundness oracle, client analyses, and the
+evaluation harness regenerating the paper's tables and figures.
+
+Typical use:
+
+.. code-block:: python
+
+    from repro import analyze
+    from repro.corpus import build_connectbot_example
+
+    result = analyze(build_connectbot_example())
+    for t in sorted(result.gui_tuples(), key=str):
+        print(t.activity_class, t.view, t.event, t.handler)
+"""
+
+from repro.app import AndroidApp
+from repro.core import (
+    AnalysisOptions,
+    AnalysisResult,
+    GuiReferenceAnalysis,
+    analyze,
+    compute_graph_stats,
+    compute_precision,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AndroidApp",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "GuiReferenceAnalysis",
+    "analyze",
+    "compute_graph_stats",
+    "compute_precision",
+    "__version__",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface: analyze Android projects from the shell.
+
+Usage::
+
+    python -m repro analyze PROJECT_DIR [--json] [--dot FILE] [--checks]
+                                        [--taint] [--transitions] [--tuples]
+    python -m repro run PROJECT_DIR [--seed N]
+    python -m repro disasm PROJECT_DIR [-o FILE]
+
+``PROJECT_DIR`` follows the trimmed Android layout (``src/*.alite``,
+``res/layout/*.xml``, ``res/menu/*.xml``, ``AndroidManifest.xml``) —
+see ``examples/projects/notepad``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _load(path: str):
+    from repro.frontend import load_app_from_dir
+
+    app = load_app_from_dir(path)
+    app.validate()
+    return app
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro import analyze
+    from repro.core.export import graph_to_dot, result_to_json
+    from repro.core.metrics import compute_graph_stats, compute_precision
+
+    app = _load(args.project)
+    result = analyze(app)
+
+    if args.json:
+        print(result_to_json(result, indent=2))
+        return 0
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as f:
+            f.write(graph_to_dot(result.graph, include_vars=False))
+        print(f"constraint graph written to {args.dot}")
+
+    stats = compute_graph_stats(result)
+    metrics = compute_precision(result)
+    print(f"app: {app.name}")
+    print(f"  classes={stats.classes} methods={stats.methods} "
+          f"layouts={stats.layout_ids} view-ids={stats.view_ids}")
+    print(f"  views inflated/allocated: {stats.views_inflated}/"
+          f"{stats.views_allocated}, listeners: {stats.listeners}")
+    print(f"  solve: {result.solve_seconds:.3f}s in {result.rounds} rounds")
+    print(f"  precision: receivers={metrics.receivers} results={metrics.results}")
+    for activity in sorted(app.activity_classes()):
+        print()
+        print(result.hierarchy_dump(activity))
+        items = result.menu_items_of(activity)
+        if items:
+            print("  options menu: " + ", ".join(str(i) for i in items))
+
+    if args.tuples:
+        print("\nGUI tuples:")
+        for t in sorted(result.gui_tuples(), key=str):
+            print(f"  ({t.activity_class}, {t.view}, {t.event.value}, {t.handler})")
+    if args.transitions:
+        from repro.clients import build_transition_graph
+
+        print("\nTransitions:")
+        graph = build_transition_graph(result)
+        for tr in graph.transitions:
+            print(f"  {tr.source} -> {tr.target} "
+                  f"({tr.trigger.event.value} on {tr.trigger.view})")
+    if args.checks:
+        from repro.clients import run_error_checks
+
+        report = run_error_checks(result)
+        print(f"\nChecks: {len(report)} finding(s)")
+        for finding in report.findings:
+            print(f"  {finding}")
+        if report.findings:
+            return 1
+    if args.taint:
+        from repro.clients import run_taint_analysis
+
+        findings = run_taint_analysis(result)
+        print(f"\nTaint: {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro import analyze
+    from repro.semantics import check_soundness, run_app
+
+    app = _load(args.project)
+    run = run_app(app, seed=args.seed)
+    print(f"activities driven: {len(run.activities)}")
+    print(f"objects allocated: {len(run.heap.objects)}")
+    print(f"operations executed: {len(run.trace.events)}")
+    for activity_class, view, event in run.fired_events:
+        print(f"  {event} on {view} @ {activity_class}")
+    if run.budget_exhausted:
+        print("warning: step budget exhausted (incomplete run)")
+    result = analyze(app)
+    report = check_soundness(result, run.trace)
+    print(f"soundness: {report.checked} facts checked, "
+          f"{len(report.violations)} violations")
+    for violation in report.violations:
+        print(f"  VIOLATION: {violation}")
+    return 1 if report.violations else 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.dex import assemble_program
+
+    app = _load(args.project)
+    text = assemble_program(app.program)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"Dalvik text written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GUI reference analysis for Android projects "
+        "(Rountev & Yan, CGO 2014 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="run the static analysis")
+    p_analyze.add_argument("project", help="project directory")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the full solution as JSON")
+    p_analyze.add_argument("--dot", metavar="FILE",
+                           help="write the constraint graph as Graphviz DOT")
+    p_analyze.add_argument("--checks", action="store_true",
+                           help="run the static error checkers (exit 1 on findings)")
+    p_analyze.add_argument("--taint", action="store_true",
+                           help="run the taint client")
+    p_analyze.add_argument("--transitions", action="store_true",
+                           help="print the activity transition graph")
+    p_analyze.add_argument("--tuples", action="store_true",
+                           help="print the (activity, view, event, handler) tuples")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_run = sub.add_parser("run", help="execute the app in the interpreter")
+    p_run.add_argument("project", help="project directory")
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="interpreter seed (FindView3 choices)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_disasm = sub.add_parser("disasm", help="emit Dalvik text for the project")
+    p_disasm.add_argument("project", help="project directory")
+    p_disasm.add_argument("-o", "--output", help="output file (default stdout)")
+    p_disasm.set_defaults(func=_cmd_disasm)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

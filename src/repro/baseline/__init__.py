@@ -1,0 +1,25 @@
+"""Baseline reference analysis without GUI modelling.
+
+"Existing reference analyses cannot be applied directly to Android" —
+this package makes that claim measurable: a standard field-based,
+context-insensitive Andersen-style analysis (the JLite solution of
+Section 4) that treats every platform call as an opaque black box. It
+knows nothing about inflation, view ids, hierarchies, or listeners, so
+a ``findViewById`` result is an unknown platform object that could be
+*any* view. The ablation benchmark quantifies the precision gap
+against the GUI-aware analysis.
+"""
+
+from repro.baseline.andersen import (
+    AndersenResult,
+    OpaqueValue,
+    andersen_analyze,
+    findview_resolution_gap,
+)
+
+__all__ = [
+    "AndersenResult",
+    "OpaqueValue",
+    "andersen_analyze",
+    "findview_resolution_gap",
+]

@@ -1,0 +1,232 @@
+"""Field-based Andersen-style points-to analysis (no GUI modelling).
+
+The "standard existing technique" the paper starts from (Section 4): a
+constraint graph over variables, fields, and allocation sites, solved
+by reachability — with *no* modelling of layouts, view ids, or any of
+the nine Android operation categories. Calls into the platform are
+opaque: a call with a result yields a fresh :class:`OpaqueValue`
+abstraction ("some platform object, could be anything").
+
+Activities are still modelled as framework-created (otherwise no code
+would be reachable at all), which matches what a pre-GATOR whole-
+program analysis would minimally do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple, Union
+
+from repro.app import AndroidApp
+from repro.core.nodes import Site
+from repro.hierarchy.cha import ClassHierarchy
+from repro.hierarchy.callgraph import resolve_invoke
+from repro.ir.program import Method, MethodSig
+from repro.ir.statements import (
+    Assign,
+    Cast,
+    Invoke,
+    Load,
+    New,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Store,
+)
+from repro.platform.api import is_framework_callback
+
+
+@dataclass(frozen=True)
+class _Var:
+    method: MethodSig
+    name: str
+
+
+@dataclass(frozen=True)
+class _Field:
+    class_name: str
+    field_name: str
+
+
+@dataclass(frozen=True)
+class _Alloc:
+    site: Site
+    class_name: str
+
+
+@dataclass(frozen=True)
+class _Activity:
+    class_name: str
+
+
+@dataclass(frozen=True)
+class OpaqueValue:
+    """The result of an unmodelled platform call: could be anything."""
+
+    site: Site
+
+    def __str__(self) -> str:
+        return f"opaque@{self.site}"
+
+
+Value = Union[_Alloc, _Activity, OpaqueValue]
+
+
+@dataclass
+class AndersenResult:
+    """Solution of the baseline analysis."""
+
+    app: AndroidApp
+    pts: Dict[object, Set[Value]]
+    findview_sites: List[Site] = field(default_factory=list)
+
+    def values_at_var(
+        self, class_name: str, method_name: str, arity: int, var: str
+    ) -> Set[Value]:
+        return set(
+            self.pts.get(_Var(MethodSig(class_name, method_name, arity), var), ())
+        )
+
+    def is_resolved(self, site: Site) -> bool:
+        """Did the baseline produce any concrete (non-opaque) object for
+        the find-view result at ``site``? It never does."""
+        values = self.pts.get(("result", site), set())
+        return bool(values) and not any(isinstance(v, OpaqueValue) for v in values)
+
+
+class _Solver:
+    def __init__(self, app: AndroidApp) -> None:
+        self.app = app
+        self.program = app.program
+        self.hierarchy = ClassHierarchy(app.program)
+        self.succ: Dict[object, List[object]] = {}
+        self.pts: Dict[object, Set[Value]] = {}
+        self.work: Deque[Tuple[object, Set[Value]]] = deque()
+        self.findview_sites: List[Site] = []
+
+    def edge(self, src: object, dst: object) -> None:
+        self.succ.setdefault(src, []).append(dst)
+
+    def seed(self, node: object, value: Value) -> None:
+        self.pts.setdefault(node, set())
+        if value not in self.pts[node]:
+            self.pts[node].add(value)
+            self.work.append((node, {value}))
+
+    def _field_owner(self, start: str, field_name: str) -> str:
+        for cname in self.hierarchy.superclass_chain(start):
+            c = self.program.clazz(cname)
+            if c is not None and field_name in c.fields:
+                return cname
+        return start
+
+    def build(self) -> None:
+        for method in self.program.application_methods():
+            sig = method.sig
+            for index, stmt in enumerate(method.body):
+                if isinstance(stmt, Assign):
+                    self.edge(_Var(sig, stmt.rhs), _Var(sig, stmt.lhs))
+                elif isinstance(stmt, Cast):
+                    self.edge(_Var(sig, stmt.rhs), _Var(sig, stmt.lhs))
+                elif isinstance(stmt, New):
+                    site = Site(sig, index, stmt.line)
+                    self.seed(_Var(sig, stmt.lhs), _Alloc(site, stmt.class_name))
+                elif isinstance(stmt, Load):
+                    owner = self._field_owner(
+                        method.locals[stmt.base].type_name, stmt.field_name
+                    )
+                    self.edge(_Field(owner, stmt.field_name), _Var(sig, stmt.lhs))
+                elif isinstance(stmt, Store):
+                    owner = self._field_owner(
+                        method.locals[stmt.base].type_name, stmt.field_name
+                    )
+                    self.edge(_Var(sig, stmt.rhs), _Field(owner, stmt.field_name))
+                elif isinstance(stmt, StaticLoad):
+                    self.edge(
+                        _Field(stmt.class_name, stmt.field_name), _Var(sig, stmt.lhs)
+                    )
+                elif isinstance(stmt, StaticStore):
+                    self.edge(
+                        _Var(sig, stmt.rhs), _Field(stmt.class_name, stmt.field_name)
+                    )
+                elif isinstance(stmt, Invoke):
+                    self._call(method, index, stmt)
+        # Framework-created activities.
+        for class_name in self.app.activity_classes():
+            activity = _Activity(class_name)
+            for cname in self.hierarchy.superclass_chain(class_name):
+                c = self.program.clazz(cname)
+                if c is None or c.is_platform:
+                    break
+                for m in c.methods.values():
+                    if not m.is_static and is_framework_callback(m.name):
+                        self.seed(_Var(m.sig, "this"), activity)
+
+    def _call(self, method: Method, index: int, stmt: Invoke) -> None:
+        sig = method.sig
+        targets = resolve_invoke(self.program, self.hierarchy, method, stmt)
+        if targets:
+            for target in targets:
+                tsig = target.sig
+                if target.is_instance and stmt.base is not None:
+                    self.edge(_Var(sig, stmt.base), _Var(tsig, "this"))
+                for arg, pname in zip(stmt.args, target.param_names):
+                    self.edge(_Var(sig, arg), _Var(tsig, pname))
+                if stmt.lhs is not None:
+                    for body_stmt in target.body:
+                        if isinstance(body_stmt, Return) and body_stmt.var is not None:
+                            self.edge(_Var(tsig, body_stmt.var), _Var(sig, stmt.lhs))
+            return
+        # Platform call: opaque. Track find-view sites for comparison.
+        site = Site(sig, index, stmt.line)
+        if stmt.method_name == "findViewById":
+            self.findview_sites.append(site)
+            if stmt.lhs is not None:
+                self.seed(("result", site), OpaqueValue(site))
+        if stmt.lhs is not None:
+            self.seed(_Var(sig, stmt.lhs), OpaqueValue(site))
+
+    def solve(self) -> AndersenResult:
+        self.build()
+        while self.work:
+            node, delta = self.work.popleft()
+            for succ in self.succ.get(node, ()):
+                current = self.pts.setdefault(succ, set())
+                new = delta - current
+                if new:
+                    current |= new
+                    self.work.append((succ, new))
+        return AndersenResult(
+            app=self.app, pts=self.pts, findview_sites=self.findview_sites
+        )
+
+
+def andersen_analyze(app: AndroidApp) -> AndersenResult:
+    """Run the GUI-oblivious baseline."""
+    return _Solver(app).solve()
+
+
+def findview_resolution_gap(app: AndroidApp) -> Dict[str, float]:
+    """Quantify the motivation claim: fraction of find-view results the
+    baseline resolves to concrete objects (always 0), and the size of
+    its effective candidate set (every view in the app)."""
+    from repro import analyze
+    from repro.core.metrics import compute_graph_stats
+
+    from repro.core.metrics import compute_precision
+
+    baseline = andersen_analyze(app)
+    gui = analyze(app)
+    stats = compute_graph_stats(gui)
+    precision = compute_precision(gui)
+    total_views = stats.views_inflated + stats.views_allocated
+    resolved = sum(1 for s in baseline.findview_sites if baseline.is_resolved(s))
+    return {
+        "findview_sites": float(len(baseline.findview_sites)),
+        "baseline_resolved_fraction": (
+            resolved / len(baseline.findview_sites) if baseline.findview_sites else 0.0
+        ),
+        "baseline_candidates_per_site": float(total_views),
+        "gui_results_per_site": precision.results or 0.0,
+    }

@@ -1,0 +1,35 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.bench.table1` — Table 1 (application and constraint-graph
+  statistics for the 20 apps);
+* :mod:`repro.bench.table2` — Table 2 (analysis time and the four
+  precision averages, side by side with the paper's values);
+* :mod:`repro.bench.figures` — Figures 3 and 4 (the running example's
+  constraint graph: operation nodes, flow edges, view nodes and
+  relationship edges);
+* :mod:`repro.bench.casestudy` — the Section 5 case study (perfect
+  precision for APV/BarcodeScanner/SuperGenPass via the concrete
+  oracle; the XBMC outlier under context sensitivity);
+* :mod:`repro.bench.ablation` — design-choice ablations (GUI modelling
+  vs the Andersen baseline, FindView3 refinement, cast filtering);
+* :mod:`repro.bench.reporting` — plain-text table rendering.
+
+``python -m repro.bench <target>`` runs any of them from the CLI.
+"""
+
+from repro.bench.reporting import render_table
+from repro.bench.table1 import run_table1
+from repro.bench.table2 import run_table2
+from repro.bench.figures import run_figure3, run_figure4
+from repro.bench.casestudy import run_case_study
+from repro.bench.ablation import run_ablation
+
+__all__ = [
+    "render_table",
+    "run_ablation",
+    "run_case_study",
+    "run_figure3",
+    "run_figure4",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,48 @@
+"""CLI for the evaluation harness.
+
+Usage::
+
+    python -m repro.bench all
+    python -m repro.bench table1 [APP ...]
+    python -m repro.bench table2 [APP ...]
+    python -m repro.bench figure3
+    python -m repro.bench figure4
+    python -m repro.bench casestudy
+    python -m repro.bench ablation [APP ...]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    target = args[0] if args else "all"
+    apps = args[1:] or None
+
+    from repro.bench import ablation, casestudy, figures, table1, table2
+
+    outputs: List[str] = []
+    if target in ("table1", "all"):
+        outputs.append(table1.main(apps))
+    if target in ("table2", "all"):
+        outputs.append(table2.main(apps))
+    if target in ("figure3", "all"):
+        outputs.append(figures.main_figure3())
+    if target in ("figure4", "all"):
+        outputs.append(figures.main_figure4())
+    if target in ("casestudy", "all"):
+        outputs.append(casestudy.run_case_study())
+    if target in ("ablation", "all"):
+        outputs.append(ablation.main(tuple(apps) if apps else ablation.DEFAULT_APPS))
+    if not outputs:
+        print(__doc__)
+        return 2
+    print("\n\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

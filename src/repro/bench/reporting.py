@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the bench harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table (right-aligned numeric columns)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def is_numericish(text: str) -> bool:
+        stripped = text.replace(".", "").replace("/", "").replace("-", "")
+        return stripped.isdigit() or text == "-"
+
+    def fmt(cells: Sequence[str], header: bool = False) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            text = str(cell)
+            if not header and i > 0 and is_numericish(text):
+                parts.append(text.rjust(widths[i]))
+            else:
+                parts.append(text.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(headers, header=True))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt([str(c) for c in row]))
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Table 2: analysis time and solution-size precision averages.
+
+For every app the harness reports the measured value next to the
+paper's (where legible in our copy; the receivers column and the times
+are, the other three columns are not — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro import analyze
+from repro.core.metrics import PrecisionMetrics, compute_precision
+from repro.corpus.apps import APP_SPECS
+from repro.corpus.generator import generate_app
+from repro.corpus.spec import AppSpec
+from repro.bench.reporting import render_table
+
+HEADERS = [
+    "App",
+    "Time(s)",
+    "Time paper",
+    "recv",
+    "recv paper",
+    "param",
+    "result",
+    "lst",
+]
+
+
+@dataclass
+class Table2Row:
+    spec: AppSpec
+    metrics: PrecisionMetrics
+
+    def as_row(self) -> List[str]:
+        m, paper = self.metrics, self.spec.paper
+
+        def fmt(x: Optional[float]) -> str:
+            return f"{x:.2f}" if x is not None else "-"
+
+        return [
+            self.spec.name,
+            fmt(m.solve_seconds),
+            fmt(paper.time_seconds),
+            fmt(m.receivers),
+            fmt(paper.receivers),
+            fmt(m.parameters),
+            fmt(m.results),
+            fmt(m.listeners),
+        ]
+
+    def receivers_drift(self) -> Optional[float]:
+        if self.metrics.receivers is None or self.spec.paper.receivers is None:
+            return None
+        return abs(self.metrics.receivers - self.spec.paper.receivers)
+
+
+def run_table2(app_names: Optional[Sequence[str]] = None) -> List[Table2Row]:
+    specs = [
+        s for s in APP_SPECS if app_names is None or s.name in set(app_names)
+    ]
+    rows: List[Table2Row] = []
+    for spec in specs:
+        result = analyze(generate_app(spec))
+        rows.append(Table2Row(spec=spec, metrics=compute_precision(result)))
+    return rows
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    return render_table(
+        HEADERS,
+        [row.as_row() for row in rows],
+        title="Table 2: Analysis running time and average solution sizes "
+        "(measured vs paper)",
+    )
+
+
+def main(app_names: Optional[Sequence[str]] = None) -> str:
+    rows = run_table2(app_names)
+    text = format_table2(rows)
+    drifts = [d for row in rows if (d := row.receivers_drift()) is not None]
+    if drifts:
+        text += (
+            f"\n\nreceivers column: max |measured - paper| = {max(drifts):.3f} "
+            f"over {len(drifts)} apps"
+        )
+    precise = sum(
+        1 for row in rows if row.metrics.receivers is not None and row.metrics.receivers < 2.0
+    )
+    text += f"\napps with receivers average below 2: {precise}/{len(rows)} (paper: 16/20)"
+    return text

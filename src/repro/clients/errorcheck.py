@@ -1,0 +1,152 @@
+"""Static error checker for GUI code (the checker clients of Section 6).
+
+Four checks, each a direct consumer of the reference analysis:
+
+* **unresolved-lookup** — a ``findViewById`` whose static result set is
+  empty: the searched id never appears in any hierarchy reaching the
+  receiver (typo'd id, missing ``setContentView``, wrong layout);
+* **bad-cast** — a cast applied to a find-view result where *no* value
+  in the incoming set satisfies the cast type: guaranteed
+  ``ClassCastException`` when executed;
+* **suspicious-cast** — some but not all incoming values satisfy the
+  cast (possible ``ClassCastException``);
+* **ambiguous-lookup** — a find-view result set with several distinct
+  views: duplicate ids reachable from one lookup, a common source of
+  "wrong widget" bugs;
+* **dead-listener** — a listener allocation that never reaches any
+  set-listener operation (handler code that can never run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.nodes import OpArg, OpNode, OpRecv, Site, ValueNode, value_class_name
+from repro.core.results import AnalysisResult
+from repro.ir.statements import Cast, Invoke
+from repro.platform.api import OpKind
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker finding."""
+
+    check: str
+    site: Site
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.site}: {self.message}"
+
+
+@dataclass
+class CheckReport:
+    findings: List[Finding] = field(default_factory=list)
+
+    def by_check(self, check: str) -> List[Finding]:
+        return [f for f in self.findings if f.check == check]
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+
+def _check_lookups(result: AnalysisResult, report: CheckReport) -> None:
+    for op in result.ops_of_kind(OpKind.FINDVIEW1, OpKind.FINDVIEW2):
+        ids = {
+            str(v)
+            for v in result.values_at(OpArg(op, 0))
+            if type(v).__name__ == "ViewIdNode"
+        }
+        # Only meaningful when the inputs resolved at all.
+        receivers = result.values_at(OpRecv(op))
+        if not ids or not receivers:
+            continue
+        results = result.op_results(op)
+        if not results:
+            report.findings.append(
+                Finding(
+                    "unresolved-lookup",
+                    op.site,
+                    f"findViewById({', '.join(sorted(ids))}) can never "
+                    "resolve to a view",
+                )
+            )
+        elif len(results) > 1:
+            names = ", ".join(sorted(str(v) for v in results))
+            report.findings.append(
+                Finding(
+                    "ambiguous-lookup",
+                    op.site,
+                    f"findViewById({', '.join(sorted(ids))}) may return any "
+                    f"of: {names}",
+                )
+            )
+
+
+def _check_casts(result: AnalysisResult, report: CheckReport) -> None:
+    hierarchy = result.hierarchy
+    for method in result.app.program.application_methods():
+        sig = method.sig
+        for index, stmt in enumerate(method.body):
+            if not isinstance(stmt, Cast):
+                continue
+            node = result.graph.lookup_var(sig, stmt.rhs)
+            if node is None:
+                continue
+            incoming = [
+                v for v in result.values_at(node) if result.is_view_value(v)
+            ]
+            if not incoming:
+                continue
+            passing = [
+                v
+                for v in incoming
+                if (cn := value_class_name(v)) is not None
+                and hierarchy.is_subtype(cn, stmt.type_name)
+            ]
+            site = Site(sig, index, stmt.line)
+            if not passing:
+                report.findings.append(
+                    Finding(
+                        "bad-cast",
+                        site,
+                        f"cast to {stmt.type_name} fails for every view "
+                        f"reaching {stmt.rhs!r} "
+                        f"({', '.join(sorted(str(v) for v in incoming))})",
+                    )
+                )
+            elif len(passing) < len(incoming):
+                failing = set(incoming) - set(passing)
+                report.findings.append(
+                    Finding(
+                        "suspicious-cast",
+                        site,
+                        f"cast to {stmt.type_name} fails for "
+                        f"{', '.join(sorted(str(v) for v in failing))}",
+                    )
+                )
+
+
+def _check_dead_listeners(result: AnalysisResult, report: CheckReport) -> None:
+    reaching: Set[ValueNode] = set()
+    for op in result.ops_of_kind(OpKind.SETLISTENER):
+        reaching.update(result.op_listener_args(op))
+    for alloc in result.graph.listener_allocs:
+        if alloc not in reaching:
+            report.findings.append(
+                Finding(
+                    "dead-listener",
+                    alloc.site,
+                    f"listener {alloc} is never registered on any view",
+                )
+            )
+
+
+def run_error_checks(result: AnalysisResult) -> CheckReport:
+    """Run all checks over a solved analysis."""
+    report = CheckReport()
+    _check_lookups(result, report)
+    _check_casts(result, report)
+    _check_dead_listeners(result, report)
+    return report

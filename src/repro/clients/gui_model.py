@@ -1,0 +1,130 @@
+"""Reverse-engineered GUI model (the Yang et al. client of Section 6).
+
+For each activity: the widgets of its view hierarchies (class, ids,
+position in the tree), the listeners and handlers attached to each, and
+declarative ``android:onClick`` bindings — everything a GUI-model-based
+testing tool consumes. Exportable as text or DOT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.nodes import ValueNode
+from repro.core.results import AnalysisResult
+from repro.platform.events import EventKind
+
+
+@dataclass
+class WidgetInfo:
+    """One widget in an activity's hierarchy."""
+
+    view: ValueNode
+    view_class: str
+    ids: List[str]
+    depth: int
+    parent: Optional[ValueNode]
+    handlers: List[Tuple[EventKind, str]] = field(default_factory=list)
+
+    @property
+    def is_interactive(self) -> bool:
+        return bool(self.handlers)
+
+
+@dataclass
+class ActivityModel:
+    activity_class: str
+    widgets: List[WidgetInfo] = field(default_factory=list)
+
+    def interactive_widgets(self) -> List[WidgetInfo]:
+        return [w for w in self.widgets if w.is_interactive]
+
+
+@dataclass
+class GuiModel:
+    """The whole-app GUI model."""
+
+    activities: Dict[str, ActivityModel] = field(default_factory=dict)
+
+    def total_widgets(self) -> int:
+        return sum(len(a.widgets) for a in self.activities.values())
+
+    def total_interactive(self) -> int:
+        return sum(len(a.interactive_widgets()) for a in self.activities.values())
+
+    def to_text(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self.activities):
+            model = self.activities[name]
+            lines.append(name)
+            for widget in model.widgets:
+                indent = "  " * (widget.depth + 1)
+                ids = f" ids={','.join(widget.ids)}" if widget.ids else ""
+                handlers = (
+                    " handlers=[" + ", ".join(f"{e.value}->{h}" for e, h in widget.handlers) + "]"
+                    if widget.handlers
+                    else ""
+                )
+                lines.append(f"{indent}{widget.view_class.rsplit('.', 1)[-1]}{ids}{handlers}")
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        lines = ["digraph gui {", "  rankdir=TB;"]
+        for name in sorted(self.activities):
+            model = self.activities[name]
+            simple = name.rsplit(".", 1)[-1]
+            lines.append(f'  "{simple}" [shape=box,style=bold];')
+            for widget in model.widgets:
+                node = str(widget.view)
+                shape = "ellipse" if widget.is_interactive else "plaintext"
+                lines.append(f'  "{node}" [shape={shape}];')
+                parent = str(widget.parent) if widget.parent is not None else simple
+                lines.append(f'  "{parent}" -> "{node}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def build_gui_model(result: AnalysisResult) -> GuiModel:
+    """Extract the GUI model from a solved analysis."""
+    model = GuiModel()
+    for activity in result.graph.activities():
+        activity_model = ActivityModel(activity.class_name)
+        seen: Set[ValueNode] = set()
+        for root in sorted(result.roots_of_activity(activity.class_name), key=str):
+            _walk(result, root, None, 0, activity_model, seen)
+        model.activities[activity.class_name] = activity_model
+    return model
+
+
+def _walk(
+    result: AnalysisResult,
+    view: ValueNode,
+    parent: Optional[ValueNode],
+    depth: int,
+    model: ActivityModel,
+    seen: Set[ValueNode],
+) -> None:
+    if view in seen:
+        return
+    seen.add(view)
+    view_class = getattr(view, "view_class", None) or getattr(view, "class_name", "?")
+    ids = sorted(str(i).replace("R.id.", "") for i in result.graph.ids_of(view))
+    handlers = [
+        (event, str(handler)) for event, handler in result.handlers_for_view(view)
+    ]
+    for binding in result.xml_handlers:
+        if binding.view == view:
+            handlers.append((EventKind.CLICK, str(binding.handler)))
+    model.widgets.append(
+        WidgetInfo(
+            view=view,
+            view_class=view_class,
+            ids=ids,
+            depth=depth,
+            parent=parent,
+            handlers=handlers,
+        )
+    )
+    for child in sorted(result.graph.children_of(view), key=str):
+        _walk(result, child, view, depth + 1, model, seen)  # type: ignore[arg-type]

@@ -1,0 +1,645 @@
+"""The constraint-based fixed-point analysis (Sections 4.2–4.3).
+
+The solver maintains the ``flowsTo`` relation as per-node value sets
+(``pts``), propagated along flow edges with a difference-based
+worklist, and applies the operation inference rules until a global
+fixed point:
+
+* ``Inflate1``/``Inflate2``: reaching layout ids instantiate a fresh
+  family of inflated-view nodes per (site, layout), with parent-child
+  and view-id relationship edges from the layout tree; the root flows
+  out of ``Inflate1`` nodes and becomes an activity root at
+  ``Inflate2`` nodes.
+* ``AddView1``/``AddView2``: reaching (activity, view) / (parent,
+  child) pairs add ROOT / CHILD relationship edges.
+* ``SetId``: reaching (view, id) pairs add HAS_ID edges.
+* ``SetListener``: reaching (view, listener) pairs add LISTENER edges
+  and model the platform callback ``y.n(x)`` — the listener flows to
+  the handler's ``this`` and the view flows to the handler's view
+  parameter.
+* ``FindView1/2/3``: resolved through the (reflexive-transitive)
+  ``ancestorOf`` closure over CHILD edges and HAS_ID matching; results
+  flow out of the operation node.
+
+New relationship edges can enable more resolution (e.g. an ``AddView2``
+edge extends ``ancestorOf`` which grows a ``FindView1`` result set), so
+operation processing and flow propagation alternate in rounds until
+nothing changes. All facts are finite and monotonically growing, so
+termination is guaranteed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.app import AndroidApp
+from repro.core.builder import BuildResult, build_constraint_graph
+from repro.core.graph import ConstraintGraph, RelKind
+from repro.core.nodes import (
+    ActivityNode,
+    AllocNode,
+    InflViewNode,
+    LayoutIdNode,
+    MenuIdNode,
+    MenuItemNode,
+    Node,
+    OpArg,
+    OpNode,
+    OpRecv,
+    Site,
+    ValueNode,
+    VarNode,
+    ViewIdNode,
+    value_class_name,
+)
+from repro.core.results import AnalysisResult, XmlHandlerBinding
+from repro.hierarchy.cha import ClassHierarchy
+from repro.ir.program import MethodSig
+from repro.platform.api import OpKind
+from repro.platform.classes import ACTIVITY, DIALOG, VIEW
+from repro.platform.events import spec_for_interface
+from repro.resources.layout import LayoutNode
+
+
+@dataclass
+class AnalysisOptions:
+    """Tunable switches of the analysis.
+
+    ``findview3_children_only_refinement`` enables the refinement the
+    paper mentions for operations like ``getCurrentView()`` (restrict
+    to direct children rather than all descendants).
+
+    ``model_xml_onclick`` binds ``android:onClick`` layout attributes
+    to activity methods (an extension beyond the paper's core rules).
+
+    ``max_rounds`` is a safety valve; the fixed point always converges
+    long before it on realistic inputs.
+    """
+
+    findview3_children_only_refinement: bool = True
+    model_xml_onclick: bool = True
+    filter_casts: bool = True
+    max_rounds: int = 1000
+
+
+class GuiReferenceAnalysis:
+    """One analysis run over one :class:`AndroidApp`."""
+
+    def __init__(
+        self, app: AndroidApp, options: Optional[AnalysisOptions] = None
+    ) -> None:
+        self.app = app
+        self.options = options or AnalysisOptions()
+        build = build_constraint_graph(app)
+        self.graph: ConstraintGraph = build.graph
+        self.hierarchy: ClassHierarchy = build.hierarchy
+        self.pts: Dict[Node, Set[ValueNode]] = {}
+        self._work: Deque[Tuple[Node, Set[ValueNode]]] = deque()
+        self._inflated: Dict[Tuple[object, str], InflViewNode] = {}
+        self._inflated_menus: Set[Tuple[Site, str]] = set()
+        self.menu_items_by_class: Dict[str, List[MenuItemNode]] = {}
+        self._onclick_names: Dict[InflViewNode, str] = {}
+        self._bound_handlers: Set[Tuple[ValueNode, MethodSig]] = set()
+        self._bound_xml: Set[Tuple[str, InflViewNode]] = set()
+        self.xml_handlers: List[XmlHandlerBinding] = []
+        self.rounds = 0
+        self.solve_seconds = 0.0
+
+    # -- flowsTo maintenance ---------------------------------------------------
+
+    def _add_values(self, node: Node, values: Set[ValueNode]) -> bool:
+        current = self.pts.get(node)
+        if current is None:
+            current = set()
+            self.pts[node] = current
+        delta = values - current
+        if not delta:
+            return False
+        current |= delta
+        self._work.append((node, delta))
+        return True
+
+    def _seed(self, value: ValueNode) -> None:
+        self._add_values(value, {value})
+
+    def _add_flow_dynamic(self, src: Node, dst: Node) -> bool:
+        """Add a flow edge discovered during solving and propagate."""
+        changed = self.graph.add_flow(src, dst)
+        existing = self.pts.get(src)
+        if existing:
+            changed |= self._add_values(dst, set(existing))
+        return changed
+
+    def _drain(self) -> bool:
+        changed = False
+        while self._work:
+            node, delta = self._work.popleft()
+            changed = True
+            for succ in self.graph.flow_succ.get(node, ()):
+                self._add_values(succ, self._apply_filter(node, succ, delta))
+        return changed
+
+    def _apply_filter(
+        self, src: Node, dst: Node, values: Set[ValueNode]
+    ) -> Set[ValueNode]:
+        """Apply the edge's cast type filter, if any.
+
+        Values without a run-time class (layout/view ids) pass through;
+        reference casts only constrain abstract objects.
+        """
+        if not self.options.filter_casts:
+            return values
+        type_filter = self.graph.flow_filter(src, dst)
+        if type_filter is None:
+            return values
+        kept = {
+            v
+            for v in values
+            if (cn := value_class_name(v)) is None
+            or self.hierarchy.is_subtype(cn, type_filter)
+        }
+        return kept
+
+    # -- value classification ----------------------------------------------------
+
+    def _is_view_value(self, value: ValueNode) -> bool:
+        if isinstance(value, InflViewNode):
+            return True
+        return isinstance(value, AllocNode) and value in self.graph.view_allocs
+
+    def _is_activity_like(self, value: ValueNode) -> bool:
+        """Activities and dialogs both hold root view hierarchies."""
+        if isinstance(value, ActivityNode):
+            return True
+        if isinstance(value, AllocNode):
+            return self.hierarchy.is_subtype(
+                value.class_name, ACTIVITY
+            ) or self.hierarchy.is_subtype(value.class_name, DIALOG)
+        return False
+
+    def _views(self, node: Node) -> Set[ValueNode]:
+        return {v for v in self.pts.get(node, ()) if self._is_view_value(v)}
+
+    def _activity_likes(self, node: Node) -> Set[ValueNode]:
+        return {v for v in self.pts.get(node, ()) if self._is_activity_like(v)}
+
+    def _layout_ids(self, node: Node) -> Set[LayoutIdNode]:
+        return {v for v in self.pts.get(node, ()) if isinstance(v, LayoutIdNode)}
+
+    def _view_ids(self, node: Node) -> Set[ViewIdNode]:
+        return {v for v in self.pts.get(node, ()) if isinstance(v, ViewIdNode)}
+
+    # -- solving -------------------------------------------------------------------
+
+    def solve(self) -> AnalysisResult:
+        started = time.perf_counter()
+        for value in self._initial_values():
+            self._seed(value)
+        self._drain()
+        for round_index in range(self.options.max_rounds):
+            self.rounds = round_index + 1
+            changed = False
+            for op in self.graph.ops():
+                changed |= self._process_op(op)
+            if self.options.model_xml_onclick:
+                changed |= self._bind_xml_onclick()
+            changed |= self._drain()
+            if not changed:
+                break
+        self.solve_seconds = time.perf_counter() - started
+        return AnalysisResult(
+            app=self.app,
+            graph=self.graph,
+            hierarchy=self.hierarchy,
+            pts=self.pts,
+            options=self.options,
+            rounds=self.rounds,
+            solve_seconds=self.solve_seconds,
+            xml_handlers=list(self.xml_handlers),
+            menu_items_by_class={
+                k: list(v) for k, v in self.menu_items_by_class.items()
+            },
+        )
+
+    def _initial_values(self) -> List[ValueNode]:
+        values: List[ValueNode] = []
+        values.extend(self.graph.allocs())
+        values.extend(self.graph.activities())
+        values.extend(self.graph.layout_id_nodes())
+        values.extend(self.graph.view_id_nodes())
+        values.extend(self.graph.menu_id_nodes())
+        return values
+
+    # -- operation rules ------------------------------------------------------------
+
+    def _process_op(self, op: OpNode) -> bool:
+        kind = op.kind
+        if kind is OpKind.INFLATE1:
+            return self._op_inflate1(op)
+        if kind is OpKind.INFLATE2:
+            return self._op_inflate2(op)
+        if kind is OpKind.ADDVIEW1:
+            return self._op_addview1(op)
+        if kind is OpKind.ADDVIEW2:
+            return self._op_addview2(op)
+        if kind is OpKind.SETID:
+            return self._op_setid(op)
+        if kind is OpKind.SETLISTENER:
+            return self._op_setlistener(op)
+        if kind is OpKind.FINDVIEW1:
+            return self._op_findview1(op)
+        if kind is OpKind.FINDVIEW2:
+            return self._op_findview2(op)
+        if kind is OpKind.FINDVIEW3:
+            return self._op_findview3(op)
+        if kind is OpKind.GETPARENT:
+            return self._op_getparent(op)
+        if kind is OpKind.FRAGMENT_MGR:
+            return self._op_fragment_mgr(op)
+        if kind is OpKind.FRAGMENT_TX:
+            return self._op_fragment_tx(op)
+        if kind is OpKind.MENU_INFLATE:
+            return self._op_menu_inflate(op)
+        if kind is OpKind.SET_ADAPTER:
+            return self._op_set_adapter(op)
+        raise AssertionError(f"unhandled operation kind {kind}")
+
+    # Rules INFLATE1/INFLATE2 (Section 3.2.1, constraint rules in 4.2).
+
+    def _instantiate_layout(self, op: OpNode, layout_id: LayoutIdNode) -> InflViewNode:
+        """Create the fresh inflated-view node family for (site, layout)."""
+        key = (op.site, layout_id.name)
+        cached = self._inflated.get(key)
+        if cached is not None:
+            return cached
+        tree = self.app.resources.layout(layout_id.name)
+        graph = self.graph
+        resources = self.app.resources
+
+        def instantiate(node: LayoutNode, path: Tuple[int, ...]) -> InflViewNode:
+            infl = graph.infl_view(op.site, layout_id.name, path, node.view_class, node.id_name)
+            self._seed(infl)
+            if node.id_name is not None:
+                id_node = graph.view_id(node.id_name, resources.view_id(node.id_name))
+                self._seed(id_node)
+                graph.add_rel(RelKind.HAS_ID, infl, id_node)
+            if node.on_click is not None:
+                self._onclick_names[infl] = node.on_click
+            for child_index, child in enumerate(node.children):
+                child_infl = instantiate(child, path + (child_index,))
+                graph.add_rel(RelKind.CHILD, infl, child_infl)
+            return infl
+
+        root = instantiate(tree.root, ())
+        graph.add_rel(RelKind.INFL_ROOT, root, op)
+        graph.add_rel(RelKind.LAYOUT_ORIGIN, root, layout_id)
+        self._inflated[key] = root
+        return root
+
+    def _op_inflate1(self, op: OpNode) -> bool:
+        changed = False
+        for layout_id in self._layout_ids(OpArg(op, 0)):
+            key = (op.site, layout_id.name)
+            fresh = key not in self._inflated
+            root = self._instantiate_layout(op, layout_id)
+            changed |= fresh
+            changed |= self._add_values(op, {root})
+        return changed
+
+    def _op_inflate2(self, op: OpNode) -> bool:
+        changed = False
+        holders = self._activity_likes(OpRecv(op))
+        for layout_id in self._layout_ids(OpArg(op, 0)):
+            key = (op.site, layout_id.name)
+            fresh = key not in self._inflated
+            root = self._instantiate_layout(op, layout_id)
+            changed |= fresh
+            for holder in holders:
+                changed |= self.graph.add_rel(RelKind.ROOT, holder, root)
+        return changed
+
+    # Rules ADDVIEW1/ADDVIEW2.
+
+    def _op_addview1(self, op: OpNode) -> bool:
+        changed = False
+        for holder in self._activity_likes(OpRecv(op)):
+            for view in self._views(OpArg(op, 0)):
+                changed |= self.graph.add_rel(RelKind.ROOT, holder, view)
+        return changed
+
+    def _op_addview2(self, op: OpNode) -> bool:
+        changed = False
+        for parent in self._views(OpRecv(op)):
+            for child in self._views(OpArg(op, 0)):
+                if parent is not child:
+                    changed |= self.graph.add_rel(RelKind.CHILD, parent, child)
+        return changed
+
+    # Rule SETID.
+
+    def _op_setid(self, op: OpNode) -> bool:
+        changed = False
+        for view in self._views(OpRecv(op)):
+            for id_node in self._view_ids(OpArg(op, 0)):
+                changed |= self.graph.add_rel(RelKind.HAS_ID, view, id_node)
+        return changed
+
+    # Rule SETLISTENER plus callback modelling (end of Section 3).
+
+    def _op_setlistener(self, op: OpNode) -> bool:
+        spec = self.graph.op_spec(op).listener
+        if spec is None:  # pragma: no cover - classification guarantees it
+            return False
+        changed = False
+        views = self._views(OpRecv(op))
+        listeners = {
+            v
+            for v in self.pts.get(OpArg(op, 0), ())
+            if self._implements(v, spec.interface)
+        }
+        for view in views:
+            for listener in listeners:
+                changed |= self.graph.add_rel(RelKind.LISTENER, view, listener)
+        for listener in listeners:
+            handler = self._handler_method(listener, spec.handler, spec.handler_arity)
+            if handler is None:
+                continue
+            key = (listener, handler)
+            if key not in self._bound_handlers:
+                self._bound_handlers.add(key)
+                changed = True
+            # The platform callback y.n(x): listener to `this` ...
+            changed |= self._add_flow_dynamic(listener, self.graph.var(handler, "this"))
+            # ... and the view to the handler's view parameter.
+            if spec.view_param_index is not None:
+                param = self._handler_view_param(handler, spec.view_param_index)
+                if param is not None:
+                    for view in views:
+                        changed |= self._add_flow_dynamic(view, param)
+            # AdapterView families also pass the clicked row: any child
+            # of the registered view (rows attached by adapters or
+            # add-view) flows to the item parameter.
+            if spec.item_param_index is not None:
+                param = self._handler_view_param(handler, spec.item_param_index)
+                if param is not None:
+                    for view in views:
+                        for child in self.graph.children_of(view):
+                            changed |= self._add_flow_dynamic(child, param)
+        return changed
+
+    def _implements(self, value: ValueNode, interface: str) -> bool:
+        class_name = value_class_name(value)
+        return class_name is not None and self.hierarchy.is_subtype(
+            class_name, interface
+        )
+
+    def _handler_method(
+        self, listener: ValueNode, name: str, arity: int
+    ) -> Optional[MethodSig]:
+        class_name = value_class_name(listener)
+        if class_name is None:
+            return None
+        method = self.hierarchy.lookup(class_name, name, arity)
+        if method is None:
+            return None
+        owner = self.app.program.clazz(method.class_name)
+        if owner is None or owner.is_platform:
+            return None
+        return method.sig
+
+    def _handler_view_param(
+        self, handler: MethodSig, view_param_index: int
+    ) -> Optional[VarNode]:
+        method = self.app.program.method(handler.class_name, handler.name, handler.arity)
+        if method is None or view_param_index >= len(method.param_names):
+            return None
+        return self.graph.var(handler, method.param_names[view_param_index])
+
+    # Rules FINDVIEW1/2/3 and the GetParent extension.
+
+    def _find_by_id(
+        self, start_views: Set[ValueNode], ids: Set[ViewIdNode]
+    ) -> Set[ValueNode]:
+        """``find`` from the semantics: descendants (reflexively) of any
+        start view whose associated ids intersect ``ids``."""
+        results: Set[ValueNode] = set()
+        if not ids:
+            return results
+        for start in start_views:
+            for descendant in self.graph.descendants_of(start, include_self=True):
+                if self.graph.rel(RelKind.HAS_ID, descendant) & ids:
+                    results.add(descendant)  # type: ignore[arg-type]
+        return results
+
+    def _op_findview1(self, op: OpNode) -> bool:
+        results = self._find_by_id(self._views(OpRecv(op)), self._view_ids(OpArg(op, 0)))
+        return self._add_values(op, results) if results else False
+
+    def _op_findview2(self, op: OpNode) -> bool:
+        roots: Set[ValueNode] = set()
+        for holder in self._activity_likes(OpRecv(op)):
+            roots.update(self.graph.rel(RelKind.ROOT, holder))  # type: ignore[arg-type]
+        results = self._find_by_id(roots, self._view_ids(OpArg(op, 0)))
+        return self._add_values(op, results) if results else False
+
+    def _op_findview3(self, op: OpNode) -> bool:
+        spec = self.graph.op_spec(op)
+        children_only = (
+            spec.children_only and self.options.findview3_children_only_refinement
+        )
+        results: Set[ValueNode] = set()
+        for view in self._views(OpRecv(op)):
+            if children_only:
+                results.update(self.graph.children_of(view))  # type: ignore[arg-type]
+            else:
+                results.update(self.graph.descendants_of(view, include_self=True))
+        return self._add_values(op, results) if results else False
+
+    def _op_getparent(self, op: OpNode) -> bool:
+        results: Set[ValueNode] = set()
+        for view in self._views(OpRecv(op)):
+            results.update(self.graph.parents_of(view))  # type: ignore[arg-type]
+        return self._add_values(op, results) if results else False
+
+    # Fragment extension (not in the paper's implementation).
+
+    def _op_fragment_mgr(self, op: OpNode) -> bool:
+        """Managers/transactions alias the activity that owns them: the
+        activity-like receiver values flow straight through."""
+        holders = self._activity_likes(OpRecv(op))
+        return self._add_values(op, holders) if holders else False
+
+    def _callback_view_roots(
+        self, value: ValueNode, method_name: str, arities: Tuple[int, ...]
+    ) -> Set[ValueNode]:
+        """Views returned by ``value``'s framework-invoked view factory
+        (a fragment's ``onCreateView``, an adapter's ``getView``).
+
+        Models the callback — the object flows to the factory's
+        ``this`` — and collects the views its return variables hold.
+        """
+        class_name = value_class_name(value)
+        if class_name is None:
+            return set()
+        method = None
+        for arity in arities:
+            method = self.hierarchy.lookup(class_name, method_name, arity)
+            if method is not None:
+                break
+        if method is None:
+            return set()
+        owner = self.app.program.clazz(method.class_name)
+        if owner is None or owner.is_platform:
+            return set()
+        self._add_flow_dynamic(value, self.graph.var(method.sig, "this"))
+        roots: Set[ValueNode] = set()
+        from repro.ir.statements import Return
+
+        for stmt in method.body:
+            if isinstance(stmt, Return) and stmt.var is not None:
+                node = self.graph.var(method.sig, stmt.var)
+                roots.update(v for v in self.pts.get(node, ()) if self._is_view_value(v))
+        return roots
+
+    def _fragment_roots(self, fragment: ValueNode) -> Set[ValueNode]:
+        """Views returned by the fragment's onCreateView override."""
+        return self._callback_view_roots(fragment, "onCreateView", (0, 3))
+
+    def _op_fragment_tx(self, op: OpNode) -> bool:
+        """``tx.add(containerId, fragment)``: the fragment's view
+        hierarchy becomes a child of the container view(s) with that id
+        in the owning activity's hierarchies."""
+        changed = False
+        holders = self._activity_likes(OpRecv(op))
+        ids = self._view_ids(OpArg(op, 0))
+        fragments = {
+            v
+            for v in self.pts.get(OpArg(op, 1), ())
+            if (cn := value_class_name(v)) is not None
+            and self.hierarchy.is_subtype(cn, "android.app.Fragment")
+        }
+        if not fragments:
+            return False
+        containers: Set[ValueNode] = set()
+        for holder in holders:
+            for root in self.graph.rel(RelKind.ROOT, holder):
+                for view in self.graph.descendants_of(root):
+                    if self.graph.rel(RelKind.HAS_ID, view) & ids:
+                        containers.add(view)  # type: ignore[arg-type]
+        for fragment in fragments:
+            for froot in self._fragment_roots(fragment):
+                for container in containers:
+                    if container is not froot:
+                        changed |= self.graph.add_rel(RelKind.CHILD, container, froot)
+        return changed
+
+    # Adapter extension: AdapterView.setAdapter(adapter).
+
+    def _op_set_adapter(self, op: OpNode) -> bool:
+        """The adapter's ``getView`` produces the row views displayed as
+        children of the AdapterView receiver."""
+        changed = False
+        adapters = {
+            v
+            for v in self.pts.get(OpArg(op, 0), ())
+            if (cn := value_class_name(v)) is not None
+            and self.hierarchy.is_subtype(cn, "android.widget.BaseAdapter")
+        }
+        if not adapters:
+            return False
+        parents = self._views(OpRecv(op))
+        for adapter in adapters:
+            for row in self._callback_view_roots(adapter, "getView", (0, 3)):
+                for parent in parents:
+                    if parent is not row:
+                        changed |= self.graph.add_rel(RelKind.CHILD, parent, row)
+        return changed
+
+    # Options-menu extension.
+
+    def _op_menu_inflate(self, op: OpNode) -> bool:
+        """``menuInflater.inflate(R.menu.x, menu)``: instantiate menu
+        items, attribute them to the enclosing (activity) class, and
+        flow each item into ``onOptionsItemSelected`` and its own
+        ``android:onClick`` handler."""
+        changed = False
+        owner_class = op.site.method.class_name
+        for menu_id in {
+            v for v in self.pts.get(OpArg(op, 0), ()) if isinstance(v, MenuIdNode)
+        }:
+            key = (op.site, menu_id.name)
+            if key in self._inflated_menus:
+                continue
+            self._inflated_menus.add(key)
+            changed = True
+            menu = self.app.resources.menu(menu_id.name)
+            for index, item_def in enumerate(menu.items):
+                item = self.graph.menu_item(
+                    op.site, menu_id.name, index, item_def.id_name
+                )
+                self._seed(item)
+                self.menu_items_by_class.setdefault(owner_class, []).append(item)
+                if item_def.id_name is not None:
+                    id_node = self.graph.view_id(
+                        item_def.id_name, self.app.resources.view_id(item_def.id_name)
+                    )
+                    self._seed(id_node)
+                    self.graph.add_rel(RelKind.HAS_ID, item, id_node)
+                for handler_name, arity in (
+                    (item_def.on_click, 1),
+                    ("onOptionsItemSelected", 1),
+                ):
+                    if handler_name is None:
+                        continue
+                    method = self.hierarchy.lookup(owner_class, handler_name, arity)
+                    if method is None:
+                        continue
+                    owner = self.app.program.clazz(method.class_name)
+                    if owner is None or owner.is_platform:
+                        continue
+                    param = self.graph.var(method.sig, method.param_names[0])
+                    self._add_flow_dynamic(item, param)
+        return changed
+
+    # -- android:onClick binding (extension) -------------------------------------------
+
+    def _bind_xml_onclick(self) -> bool:
+        if not self._onclick_names:
+            return False
+        changed = False
+        for act in self.graph.activities():
+            for root in self.graph.rel(RelKind.ROOT, act):
+                for view in self.graph.descendants_of(root, include_self=True):
+                    if not isinstance(view, InflViewNode):
+                        continue
+                    handler_name = self._onclick_names.get(view)
+                    if handler_name is None:
+                        continue
+                    key = (act.class_name, view)
+                    if key in self._bound_xml:
+                        continue
+                    method = self.hierarchy.lookup(act.class_name, handler_name, 1)
+                    if method is None:
+                        continue
+                    owner = self.app.program.clazz(method.class_name)
+                    if owner is None or owner.is_platform:
+                        continue
+                    self._bound_xml.add(key)
+                    changed = True
+                    param = self.graph.var(method.sig, method.param_names[0])
+                    self._add_flow_dynamic(view, param)
+                    self._add_values(self.graph.var(method.sig, "this"), {act})
+                    self.xml_handlers.append(
+                        XmlHandlerBinding(act.class_name, view, method.sig)
+                    )
+        return changed
+
+
+def analyze(
+    app: AndroidApp, options: Optional[AnalysisOptions] = None
+) -> AnalysisResult:
+    """Run the full GUI reference analysis on ``app``."""
+    return GuiReferenceAnalysis(app, options).solve()

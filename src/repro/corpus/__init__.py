@@ -1,0 +1,25 @@
+"""Application corpus: the running example and the 20 evaluation apps.
+
+* :mod:`repro.corpus.connectbot` — a faithful ALite rendition of the
+  paper's Figure 1 (the ConnectBot-derived running example), used to
+  validate the analysis against Figures 3 and 4;
+* :mod:`repro.corpus.spec` — per-app target statistics (the Table 1
+  columns) plus precision knobs (the Table 2 columns);
+* :mod:`repro.corpus.apps` — the 20 evaluation app specs;
+* :mod:`repro.corpus.generator` — the deterministic synthetic-app
+  generator that realises a spec as an :class:`~repro.app.AndroidApp`.
+"""
+
+from repro.corpus.connectbot import build_connectbot_example
+from repro.corpus.spec import AppSpec, PaperRow
+from repro.corpus.apps import APP_SPECS, spec_by_name
+from repro.corpus.generator import generate_app
+
+__all__ = [
+    "APP_SPECS",
+    "AppSpec",
+    "PaperRow",
+    "build_connectbot_example",
+    "generate_app",
+    "spec_by_name",
+]

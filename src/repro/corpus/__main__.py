@@ -1,0 +1,40 @@
+"""CLI for the evaluation corpus.
+
+Usage::
+
+    python -m repro.corpus list
+    python -m repro.corpus dump APP OUTPUT_DIR
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] not in ("list", "dump"):
+        print(__doc__)
+        return 2
+    from repro.corpus.apps import APP_SPECS, spec_by_name
+
+    if args[0] == "list":
+        for spec in APP_SPECS:
+            print(f"{spec.name:15s} classes={spec.classes:5d} "
+                  f"methods={spec.methods:5d} recv_avg={spec.recv_avg}")
+        return 0
+    if len(args) != 3:
+        print(__doc__)
+        return 2
+    from repro.corpus.export import dump_app
+    from repro.corpus.generator import generate_app
+
+    app = generate_app(spec_by_name(args[1]))
+    dump_app(app, args[2])
+    print(f"{args[1]} written to {args[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,213 @@
+"""Specs for the 20 evaluation applications (Tables 1 and 2).
+
+The app names, class/method counts, analysis times, and the
+"receivers" precision column are taken verbatim from the paper. The
+remaining Table 1 cells and the "parameters"/"results"/"listeners"
+columns are illegible in the available copy; those values are
+*reconstructions* consistent with every qualitative claim of Section 5:
+
+* XML layouts and view ids are used pervasively; most views are
+  inflated but 15 of the 20 apps also allocate views explicitly;
+* explicit add-view manipulation occurs in all but four apps
+  (BarcodeScanner, Beem, OpenManager, SuperGenPass here);
+* the receivers average is below 2 for 16 of 20 apps, with XBMC the
+  outlier at 8.81 (perfectly-precise value 3.59, reachable with
+  context sensitivity);
+* the results average is below 2 for all but one app;
+* listener averages are small.
+
+EXPERIMENTS.md carries the per-cell provenance (paper vs reconstructed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.corpus.spec import AppSpec, PaperRow
+
+APP_SPECS: List[AppSpec] = [
+    AppSpec(
+        "APV", classes=68, methods=415,
+        layout_ids=3, view_ids=12, views_inflated=16, views_allocated=0,
+        listeners=8, ops_inflate=4, ops_findview=12, ops_addview=2,
+        ops_setid=1, ops_setlistener=8,
+        recv_avg=1.0, result_avg=1.0, param_avg=1.0, listener_avg=1.0,
+        oracle_exact=True,
+        seed=101, paper=PaperRow(time_seconds=0.39, receivers=1.00),
+    ),
+    AppSpec(
+        "Astrid", classes=1228, methods=5782,
+        layout_ids=95, view_ids=230, views_inflated=230, views_allocated=46,
+        listeners=48, ops_inflate=30, ops_findview=79, ops_addview=10,
+        ops_setid=4, ops_setlistener=46,
+        recv_avg=3.09, recv_avg_ctx=1.0, result_avg=1.45, param_avg=1.40,
+        listener_avg=1.15,
+        seed=102, paper=PaperRow(time_seconds=4.92, receivers=3.09),
+    ),
+    AppSpec(
+        "BarcodeScanner", classes=126, methods=1224,
+        layout_ids=9, view_ids=33, views_inflated=31, views_allocated=6,
+        listeners=10, ops_inflate=9, ops_findview=30, ops_addview=0,
+        ops_setid=0, ops_setlistener=10,
+        recv_avg=1.0, result_avg=1.0, param_avg=1.0, listener_avg=1.0,
+        oracle_exact=True,
+        seed=103, paper=PaperRow(time_seconds=0.65, receivers=1.00),
+    ),
+    AppSpec(
+        "Beem", classes=284, methods=1883,
+        layout_ids=12, view_ids=50, views_inflated=50, views_allocated=5,
+        listeners=20, ops_inflate=12, ops_findview=26, ops_addview=0,
+        ops_setid=0, ops_setlistener=20,
+        recv_avg=1.04, result_avg=1.08, param_avg=1.0, listener_avg=1.05,
+        seed=104, paper=PaperRow(time_seconds=1.17, receivers=1.04),
+    ),
+    AppSpec(
+        "ConnectBot", classes=371, methods=2366,
+        layout_ids=19, view_ids=45, views_inflated=140, views_allocated=7,
+        listeners=26, ops_inflate=19, ops_findview=45, ops_addview=8,
+        ops_setid=2, ops_setlistener=26,
+        recv_avg=1.0, result_avg=1.0, param_avg=1.25, listener_avg=1.0,
+        seed=105, paper=PaperRow(time_seconds=1.21, receivers=1.00),
+    ),
+    AppSpec(
+        "FBReader", classes=954, methods=5452,
+        layout_ids=23, view_ids=111, views_inflated=201, views_allocated=9,
+        listeners=43, ops_inflate=23, ops_findview=98, ops_addview=12,
+        ops_setid=3, ops_setlistener=43,
+        recv_avg=1.54, recv_avg_ctx=1.0, result_avg=1.30, param_avg=1.33,
+        listener_avg=1.09,
+        seed=106, paper=PaperRow(time_seconds=3.28, receivers=1.54),
+    ),
+    AppSpec(
+        "K9", classes=815, methods=5311,
+        layout_ids=33, view_ids=153, views_inflated=385, views_allocated=8,
+        listeners=54, ops_inflate=35, ops_findview=120, ops_addview=14,
+        ops_setid=2, ops_setlistener=54,
+        recv_avg=1.15, recv_avg_ctx=1.0, result_avg=1.12, param_avg=1.14,
+        listener_avg=1.06,
+        seed=107, paper=PaperRow(time_seconds=4.30, receivers=1.15),
+    ),
+    AppSpec(
+        "KeePassDroid", classes=465, methods=2784,
+        layout_ids=19, view_ids=70, views_inflated=213, views_allocated=12,
+        listeners=29, ops_inflate=19, ops_findview=70, ops_addview=6,
+        ops_setid=1, ops_setlistener=29,
+        recv_avg=1.80, recv_avg_ctx=1.0, result_avg=1.40, param_avg=1.17,
+        listener_avg=1.10,
+        seed=108, paper=PaperRow(time_seconds=2.09, receivers=1.80),
+    ),
+    AppSpec(
+        "Mileage", classes=221, methods=1223,
+        layout_ids=64, view_ids=155, views_inflated=355, views_allocated=30,
+        listeners=30, ops_inflate=64, ops_findview=90, ops_addview=8,
+        ops_setid=2, ops_setlistener=30,
+        recv_avg=2.55, recv_avg_ctx=1.0, result_avg=1.60, param_avg=1.25,
+        listener_avg=1.13,
+        seed=109, paper=PaperRow(time_seconds=0.41, receivers=2.55),
+    ),
+    AppSpec(
+        "MyTracks", classes=485, methods=2680,
+        layout_ids=35, view_ids=125, views_inflated=118, views_allocated=40,
+        listeners=30, ops_inflate=25, ops_findview=80, ops_addview=4,
+        ops_setid=1, ops_setlistener=30,
+        recv_avg=1.12, recv_avg_ctx=1.0, result_avg=1.09, param_avg=1.25,
+        listener_avg=1.07,
+        seed=110, paper=PaperRow(time_seconds=1.55, receivers=1.12),
+    ),
+    AppSpec(
+        "NPR", classes=249, methods=1359,
+        layout_ids=15, view_ids=88, views_inflated=274, views_allocated=9,
+        listeners=17, ops_inflate=19, ops_findview=55, ops_addview=6,
+        ops_setid=1, ops_setlistener=17,
+        recv_avg=1.89, recv_avg_ctx=1.0, result_avg=1.49, param_avg=1.17,
+        listener_avg=1.12,
+        seed=111, paper=PaperRow(time_seconds=0.87, receivers=1.89),
+    ),
+    AppSpec(
+        "NotePad", classes=89, methods=394,
+        layout_ids=8, view_ids=12, views_inflated=18, views_allocated=0,
+        listeners=9, ops_inflate=7, ops_findview=12, ops_addview=4,
+        ops_setid=1, ops_setlistener=9,
+        recv_avg=1.0, result_avg=1.0, param_avg=1.0, listener_avg=1.0,
+        seed=112, paper=PaperRow(time_seconds=0.63, receivers=1.00),
+    ),
+    AppSpec(
+        "OpenManager", classes=60, methods=252,
+        layout_ids=8, view_ids=46, views_inflated=147, views_allocated=0,
+        listeners=20, ops_inflate=8, ops_findview=46, ops_addview=0,
+        ops_setid=0, ops_setlistener=20,
+        recv_avg=1.31, recv_avg_ctx=1.0, result_avg=1.20, param_avg=1.0,
+        listener_avg=1.10,
+        seed=113, paper=PaperRow(time_seconds=0.39, receivers=1.31),
+    ),
+    AppSpec(
+        "OpenSudoku", classes=140, methods=728,
+        layout_ids=10, view_ids=31, views_inflated=109, views_allocated=15,
+        listeners=16, ops_inflate=10, ops_findview=31, ops_addview=6,
+        ops_setid=2, ops_setlistener=16,
+        recv_avg=1.40, recv_avg_ctx=1.0, result_avg=1.23, param_avg=1.17,
+        listener_avg=1.06,
+        seed=114, paper=PaperRow(time_seconds=0.66, receivers=1.40),
+    ),
+    AppSpec(
+        "SipDroid", classes=351, methods=2683,
+        layout_ids=12, view_ids=36, views_inflated=75, views_allocated=6,
+        listeners=11, ops_inflate=12, ops_findview=36, ops_addview=4,
+        ops_setid=1, ops_setlistener=11,
+        recv_avg=1.0, result_avg=1.0, param_avg=1.0, listener_avg=1.0,
+        seed=115, paper=PaperRow(time_seconds=0.88, receivers=1.00),
+    ),
+    AppSpec(
+        "SuperGenPass", classes=65, methods=268,
+        layout_ids=3, view_ids=9, views_inflated=37, views_allocated=0,
+        listeners=12, ops_inflate=4, ops_findview=9, ops_addview=0,
+        ops_setid=0, ops_setlistener=12,
+        recv_avg=2.07, recv_avg_ctx=1.0, result_avg=1.33, param_avg=1.0,
+        listener_avg=1.08, oracle_exact=True,
+        seed=116, paper=PaperRow(time_seconds=0.31, receivers=2.07),
+    ),
+    AppSpec(
+        "TippyTipper", classes=57, methods=241,
+        layout_ids=6, view_ids=42, views_inflated=143, views_allocated=22,
+        listeners=27, ops_inflate=6, ops_findview=42, ops_addview=6,
+        ops_setid=2, ops_setlistener=27,
+        recv_avg=1.15, recv_avg_ctx=1.0, result_avg=1.10, param_avg=1.17,
+        listener_avg=1.04,
+        seed=117, paper=PaperRow(time_seconds=0.18, receivers=1.15),
+    ),
+    AppSpec(
+        "VLC", classes=242, methods=1374,
+        layout_ids=10, view_ids=91, views_inflated=264, views_allocated=11,
+        listeners=45, ops_inflate=10, ops_findview=91, ops_addview=8,
+        ops_setid=3, ops_setlistener=45,
+        recv_avg=1.13, recv_avg_ctx=1.0, result_avg=1.10, param_avg=1.13,
+        listener_avg=1.04,
+        seed=118, paper=PaperRow(time_seconds=1.15, receivers=1.13),
+    ),
+    AppSpec(
+        "VuDroid", classes=69, methods=385,
+        layout_ids=5, view_ids=3, views_inflated=11, views_allocated=0,
+        listeners=4, ops_inflate=5, ops_findview=6, ops_addview=2,
+        ops_setid=0, ops_setlistener=4,
+        recv_avg=1.0, result_avg=1.0, param_avg=1.0, listener_avg=1.0,
+        seed=119, paper=PaperRow(time_seconds=0.30, receivers=1.00),
+    ),
+    AppSpec(
+        "XBMC", classes=568, methods=3012,
+        layout_ids=24, view_ids=151, views_inflated=467, views_allocated=23,
+        listeners=88, ops_inflate=28, ops_findview=151, ops_addview=10,
+        ops_setid=4, ops_setlistener=88,
+        recv_avg=8.81, recv_avg_ctx=3.59, result_avg=2.21, param_avg=1.30,
+        listener_avg=1.16,
+        seed=120, paper=PaperRow(time_seconds=1.74, receivers=8.81),
+    ),
+]
+
+_BY_NAME: Dict[str, AppSpec] = {spec.name: spec for spec in APP_SPECS}
+
+
+def spec_by_name(name: str) -> AppSpec:
+    """Look up an evaluation app spec by its paper name."""
+    if name not in _BY_NAME:
+        raise KeyError(f"unknown app {name!r}; known: {sorted(_BY_NAME)}")
+    return _BY_NAME[name]

@@ -1,0 +1,160 @@
+"""The paper's running example (Figure 1), derived from ConnectBot.
+
+The ALite program below mirrors Figure 1 line by line, including the
+two XML layouts ``act_console`` and ``item_terminal``. Following the
+paper's discussion (Sections 2 and 4.2), the activity's helper method is
+named ``findCurrentView`` (its name in the real ConnectBot): the
+find-view calls at lines 10 and 13 are *platform* ``findViewById``
+operations on the activity (``FindView2``), while line 32 calls the
+application helper, whose body performs the ``getCurrentView``
+(``FindView3``) and ``findViewById`` (``FindView1``) operations at
+lines 5–6.
+
+Line numbers match Figure 1 so that node names in tests read like the
+paper's (``Inflate9``, ``SetListener16``, ``TerminalView21`` ...).
+"""
+
+from __future__ import annotations
+
+from repro.app import AndroidApp
+from repro.ir.builder import ProgramBuilder
+from repro.ir.statements import InvokeKind
+from repro.resources.layout import LayoutNode, LayoutTree
+from repro.resources.manifest import Manifest
+from repro.resources.rtable import ResourceTable
+
+VIEW = "android.view.View"
+VIEW_FLIPPER = "android.widget.ViewFlipper"
+IMAGE_VIEW = "android.widget.ImageView"
+RELATIVE_LAYOUT = "android.widget.RelativeLayout"
+ON_CLICK_LISTENER = "android.view.View$OnClickListener"
+
+CONSOLE_ACTIVITY = "connectbot.ConsoleActivity"
+ESCAPE_LISTENER = "connectbot.EscapeButtonListener"
+TERMINAL_VIEW = "connectbot.TerminalView"
+TERMINAL_BRIDGE = "connectbot.TerminalBridge"
+
+
+def _act_console_layout() -> LayoutTree:
+    root = LayoutNode(RELATIVE_LAYOUT)
+    root.add_child(LayoutNode(VIEW_FLIPPER, id_name="console_flip"))
+    keyboard_group = root.add_child(
+        LayoutNode(RELATIVE_LAYOUT, id_name="keyboard_group")
+    )
+    keyboard_group.add_child(LayoutNode(IMAGE_VIEW, id_name="button_esc"))
+    return LayoutTree("act_console", root)
+
+
+def _item_terminal_layout() -> LayoutTree:
+    root = LayoutNode(RELATIVE_LAYOUT)
+    root.add_child(LayoutNode("android.widget.TextView", id_name="terminal_overlay"))
+    return LayoutTree("item_terminal", root)
+
+
+def build_connectbot_example() -> AndroidApp:
+    """Build the Figure 1 application."""
+    pb = ProgramBuilder()
+
+    # class TerminalBridge — plain application class (line 17 parameter).
+    pb.clazz(TERMINAL_BRIDGE)
+
+    # class TerminalView extends View — application view class (Sec. 2).
+    with pb.clazz(TERMINAL_VIEW, extends=VIEW) as c:
+        c.field("bridge", TERMINAL_BRIDGE)
+        with c.method("<init>", params=[("bridge", TERMINAL_BRIDGE)]) as m:
+            m.store("this", "bridge", "bridge", line=21)
+            m.ret()
+
+    # class ConsoleActivity extends Activity (lines 1-25).
+    with pb.clazz(CONSOLE_ACTIVITY, extends="android.app.Activity") as c:
+        c.field("flip", VIEW_FLIPPER)  # line 2
+
+        # View findCurrentView(int a) — lines 3-7.
+        with c.method("findCurrentView", params=[("a", "int")], returns=VIEW) as m:
+            b = m.local("b", VIEW_FLIPPER)
+            m.load("this", "flip", lhs=b, line=4)
+            cc = m.local("c", VIEW)
+            m.invoke(b, "getCurrentView", [], lhs=cc, line=5)  # FindView3
+            d = m.local("d", VIEW)
+            m.invoke(cc, "findViewById", ["a"], lhs=d, line=6)  # FindView1
+            m.ret(d, line=7)
+
+        # void onCreate() — lines 8-16.
+        with c.method("onCreate") as m:
+            lid = m.layout_id("act_console", line=9)
+            m.invoke(m.this, "setContentView", [lid], line=9)  # Inflate2
+            vid1 = m.view_id("console_flip", line=10)
+            e = m.local("e", VIEW)
+            m.invoke(m.this, "findViewById", [vid1], lhs=e, line=10)  # FindView2
+            f = m.cast(VIEW_FLIPPER, "e", lhs=m.local("f", VIEW_FLIPPER), line=11)
+            m.store("this", "flip", f, line=12)
+            vid2 = m.view_id("button_esc", line=13)
+            g = m.local("g", VIEW)
+            m.invoke(m.this, "findViewById", [vid2], lhs=g, line=13)  # FindView2
+            h = m.cast(IMAGE_VIEW, "g", lhs=m.local("h", IMAGE_VIEW), line=14)
+            j = m.new(ESCAPE_LISTENER, lhs=m.local("j", ESCAPE_LISTENER), line=15)
+            m.invoke(j, "<init>", [m.this], kind=InvokeKind.SPECIAL, line=15)
+            m.invoke(h, "setOnClickListener", [j], line=16)  # SetListener
+            m.ret()
+
+        # void onStart() — not shown in Figure 1 ("calls to this method
+        # occur in the rest of the code of ConsoleActivity"); included
+        # so the concrete interpreter exercises addNewTerminalView.
+        with c.method("onStart") as m:
+            bridge = m.new(TERMINAL_BRIDGE, lhs=m.local("bridge", TERMINAL_BRIDGE),
+                           line=35)
+            m.invoke(m.this, "addNewTerminalView", [bridge], line=36)
+            m.ret()
+
+        # void addNewTerminalView(TerminalBridge bridge) — lines 17-25.
+        with c.method(
+            "addNewTerminalView", params=[("bridge", TERMINAL_BRIDGE)]
+        ) as m:
+            inflater = m.new(
+                "android.view.LayoutInflater",
+                lhs=m.local("inflater", "android.view.LayoutInflater"),
+                line=18,
+            )
+            lid = m.layout_id("item_terminal", line=19)
+            k = m.local("k", VIEW)
+            m.invoke(inflater, "inflate", [lid], lhs=k, line=19)  # Inflate1
+            n = m.cast(RELATIVE_LAYOUT, "k", lhs=m.local("n", RELATIVE_LAYOUT), line=20)
+            mm = m.new(TERMINAL_VIEW, lhs=m.local("m", TERMINAL_VIEW), line=21)
+            m.invoke(mm, "<init>", ["bridge"], kind=InvokeKind.SPECIAL, line=21)
+            vid = m.view_id("console_flip", line=22)
+            m.invoke(mm, "setId", [vid], line=22)  # SetId
+            m.invoke(n, "addView", [mm], line=23)  # AddView2
+            p = m.local("p", VIEW_FLIPPER)
+            m.load("this", "flip", lhs=p, line=24)
+            m.invoke(p, "addView", [n], line=25)  # AddView2
+            m.ret()
+
+    # class EscapeButtonListener implements OnClickListener (lines 26-34).
+    with pb.clazz(ESCAPE_LISTENER, implements=[ON_CLICK_LISTENER]) as c:
+        c.field("cact", CONSOLE_ACTIVITY)  # line 27
+        with c.method("<init>", params=[("q", CONSOLE_ACTIVITY)]) as m:
+            m.store("this", "cact", "q", line=29)
+            m.ret()
+        with c.method("onClick", params=[("r", VIEW)]) as m:
+            s = m.local("s", CONSOLE_ACTIVITY)
+            m.load("this", "cact", lhs=s, line=31)
+            vid = m.view_id("console_flip", line=32)
+            t = m.local("t", VIEW)
+            m.invoke(s, "findCurrentView", [vid], lhs=t, line=32)
+            m.cast(TERMINAL_VIEW, "t", lhs=m.local("v", TERMINAL_VIEW), line=33)
+            m.ret()
+
+    resources = ResourceTable()
+    resources.add_layout(_act_console_layout())
+    resources.add_layout(_item_terminal_layout())
+    resources.freeze_ids()
+
+    manifest = Manifest(package="connectbot")
+    manifest.add_activity(CONSOLE_ACTIVITY, launcher=True)
+
+    return AndroidApp(
+        name="ConnectBot-example",
+        program=pb.build(),
+        resources=resources,
+        manifest=manifest,
+    )

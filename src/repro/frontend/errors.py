@@ -1,0 +1,26 @@
+"""Frontend diagnostics with source positions."""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Base class for all frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" at {line}:{column}" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexError(FrontendError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(FrontendError):
+    """Syntax error."""
+
+
+class LowerError(FrontendError):
+    """Name-resolution or typing error during lowering."""

@@ -1,0 +1,168 @@
+"""Hand-written scanner for the Java subset.
+
+Produces a flat token stream with positions. Comments (``//`` and
+``/* */``) and whitespace are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.frontend.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "package",
+        "import",
+        "class",
+        "interface",
+        "extends",
+        "implements",
+        "static",
+        "abstract",
+        "public",
+        "private",
+        "protected",
+        "final",
+        "void",
+        "int",
+        "boolean",
+        "long",
+        "float",
+        "double",
+        "char",
+        "new",
+        "return",
+        "if",
+        "else",
+        "while",
+        "this",
+        "null",
+        "true",
+        "false",
+        "super",
+    }
+)
+
+# Multi-character operators, longest first.
+_OPERATORS = [
+    "==", "!=", "<=", ">=", "&&", "||",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".",
+    "=", "<", ">", "+", "-", "*", "/", "%", "!",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident", "keyword", "int", "string", "op", "eof"
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into tokens, ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(message: str) -> LexError:
+        return LexError(message, line, col)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for c in source[i:end]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            col += 2
+            continue
+        if ch.isdigit():
+            start = i
+            start_col = col
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                text = source[start:i]
+                value = str(int(text, 16))
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                text = source[start:i]
+                value = text
+            col += i - start
+            tokens.append(Token("int", value, line, start_col))
+            continue
+        if ch == '"':
+            start_col = col
+            i += 1
+            col += 1
+            chars: List[str] = []
+            while i < n and source[i] != '"':
+                if source[i] == "\n":
+                    raise error("unterminated string literal")
+                if source[i] == "\\" and i + 1 < n:
+                    escape = source[i + 1]
+                    mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                    if escape not in mapping:
+                        raise error(f"unknown escape \\{escape}")
+                    chars.append(mapping[escape])
+                    i += 2
+                    col += 2
+                    continue
+                chars.append(source[i])
+                i += 1
+                col += 1
+            if i >= n:
+                raise error("unterminated string literal")
+            i += 1
+            col += 1
+            tokens.append(Token("string", "".join(chars), line, start_col))
+            continue
+        if ch.isalpha() or ch in "_$":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] in "_$"):
+                i += 1
+            text = source[start:i]
+            col += i - start
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, start_col))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,459 @@
+"""Recursive-descent parser for the Java subset.
+
+Handles the two classic ambiguities with bounded backtracking:
+local-declaration vs expression statements, and cast vs parenthesised
+expressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    BoolLit,
+    Call,
+    CastExpr,
+    ClassDecl,
+    CompilationUnit,
+    Expr,
+    ExprStmt,
+    FieldAccess,
+    FieldDecl,
+    IfStmt,
+    IntLit,
+    LocalDecl,
+    MethodDecl,
+    Name,
+    NewExpr,
+    NullLit,
+    ReturnStmt,
+    Stmt,
+    StringLit,
+    ThisExpr,
+    UnaryExpr,
+    WhileStmt,
+)
+from repro.frontend.errors import ParseError
+from repro.frontend.lexer import Token, tokenize
+
+_PRIMITIVES = {"int", "boolean", "long", "float", "double", "char", "void"}
+_MODIFIERS = {"public", "private", "protected", "static", "final", "abstract"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, value: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        if not self.check(kind, value):
+            token = self.peek()
+            want = value or kind
+            raise ParseError(
+                f"expected {want!r}, found {token.value!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- names and types ------------------------------------------------------------
+
+    def qualified_name(self) -> str:
+        parts = [self.expect("ident").value]
+        while self.check("op", ".") and self.peek(1).kind == "ident":
+            self.advance()
+            parts.append(self.advance().value)
+        return ".".join(parts)
+
+    def try_type(self) -> Optional[str]:
+        """Parse a type if one starts here; None otherwise (no consumption)."""
+        token = self.peek()
+        if token.kind == "keyword" and token.value in _PRIMITIVES:
+            self.advance()
+            if self.check("op", "["):
+                raise self.error("array types are not supported")
+            return token.value
+        if token.kind == "ident":
+            name = self.qualified_name()
+            if self.check("op", "["):
+                # Arrays are not part of ALite.
+                raise self.error("array types are not supported")
+            return name
+        return None
+
+    def type_name(self) -> str:
+        result = self.try_type()
+        if result is None:
+            raise self.error("expected a type")
+        return result
+
+    # -- compilation unit -------------------------------------------------------------
+
+    def compilation_unit(self) -> CompilationUnit:
+        package = None
+        if self.accept("keyword", "package"):
+            package = self.qualified_name()
+            self.expect("op", ";")
+        imports: List[str] = []
+        while self.accept("keyword", "import"):
+            imports.append(self.qualified_name())
+            self.expect("op", ";")
+        classes: List[ClassDecl] = []
+        while not self.check("eof"):
+            classes.append(self.class_decl())
+        return CompilationUnit(package=package, imports=imports, classes=classes)
+
+    def class_decl(self) -> ClassDecl:
+        while self.peek().kind == "keyword" and self.peek().value in _MODIFIERS:
+            self.advance()
+        is_interface = False
+        if self.accept("keyword", "interface"):
+            is_interface = True
+        else:
+            self.expect("keyword", "class")
+        name_token = self.expect("ident")
+        superclass = None
+        interfaces: List[str] = []
+        if self.accept("keyword", "extends"):
+            superclass = self.qualified_name()
+        if self.accept("keyword", "implements"):
+            interfaces.append(self.qualified_name())
+            while self.accept("op", ","):
+                interfaces.append(self.qualified_name())
+        self.expect("op", "{")
+        fields: List[FieldDecl] = []
+        methods: List[MethodDecl] = []
+        while not self.accept("op", "}"):
+            self.member(name_token.value, fields, methods, is_interface)
+        return ClassDecl(
+            name=name_token.value,
+            superclass=superclass,
+            interfaces=interfaces,
+            fields=fields,
+            methods=methods,
+            is_interface=is_interface,
+            line=name_token.line,
+        )
+
+    def member(
+        self,
+        class_name: str,
+        fields: List[FieldDecl],
+        methods: List[MethodDecl],
+        in_interface: bool,
+    ) -> None:
+        is_static = False
+        is_abstract = in_interface
+        while self.peek().kind == "keyword" and self.peek().value in _MODIFIERS:
+            token = self.advance()
+            if token.value == "static":
+                is_static = True
+            if token.value == "abstract":
+                is_abstract = True
+        # Constructor: IDENT(   where IDENT == class name.
+        if (
+            self.check("ident", class_name)
+            and self.peek(1).kind == "op"
+            and self.peek(1).value == "("
+        ):
+            name_token = self.advance()
+            params = self.param_list()
+            body = self.block()
+            methods.append(
+                MethodDecl(
+                    name="<init>",
+                    params=params,
+                    return_type="void",
+                    body=body,
+                    is_static=False,
+                    is_constructor=True,
+                    line=name_token.line,
+                )
+            )
+            return
+        type_written = self.type_name()
+        name_token = self.expect("ident")
+        if self.check("op", "("):
+            params = self.param_list()
+            if self.accept("op", ";"):
+                body: Optional[List[Stmt]] = None
+            else:
+                body = self.block()
+            methods.append(
+                MethodDecl(
+                    name=name_token.value,
+                    params=params,
+                    return_type=type_written,
+                    body=body,
+                    is_static=is_static,
+                    line=name_token.line,
+                )
+            )
+        else:
+            self.expect("op", ";")
+            fields.append(
+                FieldDecl(
+                    name=name_token.value,
+                    type_name=type_written,
+                    is_static=is_static,
+                    line=name_token.line,
+                )
+            )
+
+    def param_list(self) -> List[Tuple[str, str]]:
+        self.expect("op", "(")
+        params: List[Tuple[str, str]] = []
+        if not self.check("op", ")"):
+            while True:
+                ptype = self.type_name()
+                pname = self.expect("ident").value
+                params.append((ptype, pname))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return params
+
+    # -- statements --------------------------------------------------------------------
+
+    def block(self) -> List[Stmt]:
+        self.expect("op", "{")
+        stmts: List[Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.statement())
+        return stmts
+
+    def statement(self) -> Stmt:
+        token = self.peek()
+        if self.check("keyword", "return"):
+            self.advance()
+            value = None if self.check("op", ";") else self.expression()
+            self.expect("op", ";")
+            return ReturnStmt(value, line=token.line)
+        if self.check("keyword", "if"):
+            return self.if_statement()
+        if self.check("keyword", "while"):
+            self.advance()
+            self.expect("op", "(")
+            cond = self.expression()
+            self.expect("op", ")")
+            body = self.block()
+            return WhileStmt(cond, body, line=token.line)
+        local = self.try_local_decl()
+        if local is not None:
+            return local
+        expr = self.expression()
+        if self.accept("op", "="):
+            value = self.expression()
+            self.expect("op", ";")
+            if not isinstance(expr, (Name, FieldAccess)):
+                raise ParseError(
+                    "invalid assignment target", token.line, token.column
+                )
+            return AssignStmt(expr, value, line=token.line)
+        self.expect("op", ";")
+        return ExprStmt(expr, line=token.line)
+
+    def if_statement(self) -> Stmt:
+        token = self.expect("keyword", "if")
+        self.expect("op", "(")
+        cond = self.expression()
+        self.expect("op", ")")
+        then_body = self.block()
+        else_body: List[Stmt] = []
+        if self.accept("keyword", "else"):
+            if self.check("keyword", "if"):
+                else_body = [self.if_statement()]
+            else:
+                else_body = self.block()
+        return IfStmt(cond, then_body, else_body, line=token.line)
+
+    def try_local_decl(self) -> Optional[LocalDecl]:
+        """Attempt ``Type name [= expr] ;`` with backtracking."""
+        start = self.pos
+        token = self.peek()
+        try:
+            type_written = self.try_type()
+        except ParseError:
+            self.pos = start
+            return None
+        if type_written is None:
+            return None
+        if not self.check("ident"):
+            self.pos = start
+            return None
+        name = self.advance().value
+        if self.accept("op", "="):
+            init: Optional[Expr] = self.expression()
+        elif self.check("op", ";"):
+            init = None
+        else:
+            self.pos = start
+            return None
+        self.expect("op", ";")
+        return LocalDecl(type_written, name, init, line=token.line)
+
+    # -- expressions (precedence climbing) -------------------------------------------------
+
+    def expression(self) -> Expr:
+        return self.or_expr()
+
+    def _binary_level(self, sub, ops) -> Expr:
+        left = sub()
+        while self.peek().kind == "op" and self.peek().value in ops:
+            op = self.advance().value
+            right = sub()
+            left = BinaryExpr(op, left, right, line=left.line)
+        return left
+
+    def or_expr(self) -> Expr:
+        return self._binary_level(self.and_expr, {"||"})
+
+    def and_expr(self) -> Expr:
+        return self._binary_level(self.eq_expr, {"&&"})
+
+    def eq_expr(self) -> Expr:
+        return self._binary_level(self.rel_expr, {"==", "!="})
+
+    def rel_expr(self) -> Expr:
+        return self._binary_level(self.add_expr, {"<", "<=", ">", ">="})
+
+    def add_expr(self) -> Expr:
+        return self._binary_level(self.mul_expr, {"+", "-"})
+
+    def mul_expr(self) -> Expr:
+        return self._binary_level(self.unary_expr, {"*", "/", "%"})
+
+    def unary_expr(self) -> Expr:
+        token = self.peek()
+        if self.check("op", "!") or self.check("op", "-"):
+            op = self.advance().value
+            operand = self.unary_expr()
+            return UnaryExpr(op, operand, line=token.line)
+        cast = self.try_cast()
+        if cast is not None:
+            return cast
+        return self.postfix_expr()
+
+    def try_cast(self) -> Optional[Expr]:
+        """``(Type) unary`` — backtrack when it is a parenthesised expr."""
+        if not self.check("op", "("):
+            return None
+        start = self.pos
+        token = self.advance()  # '('
+        try:
+            type_written = self.try_type()
+        except ParseError:
+            self.pos = start
+            return None
+        if type_written is None or not self.check("op", ")"):
+            self.pos = start
+            return None
+        self.advance()  # ')'
+        next_token = self.peek()
+        starts_operand = (
+            next_token.kind in ("ident", "int", "string")
+            or (next_token.kind == "keyword" and next_token.value in
+                ("this", "new", "null", "true", "false"))
+            or (next_token.kind == "op" and next_token.value in ("(", "!"))
+        )
+        # `(x) + y` would misparse as a cast of +y; the subset has no
+        # unary plus so this is unambiguous for the operators we allow.
+        if not starts_operand:
+            self.pos = start
+            return None
+        if type_written in _PRIMITIVES or "." in type_written or type_written[0].isupper():
+            operand = self.unary_expr()
+            return CastExpr(type_written, operand, line=token.line)
+        self.pos = start
+        return None
+
+    def postfix_expr(self) -> Expr:
+        expr = self.primary_expr()
+        while self.check("op", ".") and self.peek(1).kind in ("ident", "keyword"):
+            self.advance()
+            member = self.advance()
+            if member.kind == "keyword":
+                raise ParseError(
+                    f"unexpected keyword {member.value!r} after '.'",
+                    member.line,
+                    member.column,
+                )
+            if self.check("op", "("):
+                args = self.arg_list()
+                expr = Call(expr, member.value, args, line=member.line)
+            else:
+                expr = FieldAccess(expr, member.value, line=member.line)
+        return expr
+
+    def arg_list(self) -> List[Expr]:
+        self.expect("op", "(")
+        args: List[Expr] = []
+        if not self.check("op", ")"):
+            while True:
+                args.append(self.expression())
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        return args
+
+    def primary_expr(self) -> Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return IntLit(int(token.value), line=token.line)
+        if token.kind == "string":
+            self.advance()
+            return StringLit(token.value, line=token.line)
+        if self.accept("keyword", "true"):
+            return BoolLit(True, line=token.line)
+        if self.accept("keyword", "false"):
+            return BoolLit(False, line=token.line)
+        if self.accept("keyword", "null"):
+            return NullLit(line=token.line)
+        if self.accept("keyword", "this"):
+            return ThisExpr(line=token.line)
+        if self.accept("keyword", "new"):
+            type_written = self.type_name()
+            args = self.arg_list()
+            return NewExpr(type_written, args, line=token.line)
+        if self.check("op", "("):
+            self.advance()
+            expr = self.expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                args = self.arg_list()
+                return Call(None, token.value, args, line=token.line)
+            return Name(token.value, line=token.line)
+        raise self.error(f"unexpected token {token.value!r}")
+
+
+def parse_compilation_unit(source: str) -> CompilationUnit:
+    """Parse one ``.alite`` source file."""
+    return _Parser(tokenize(source)).compilation_unit()

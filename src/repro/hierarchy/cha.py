@@ -1,0 +1,143 @@
+"""Class-hierarchy analysis: subtype queries and virtual dispatch.
+
+All queries are precomputed or memoised; the corpus apps have hundreds
+to thousands of classes and the constraint-graph construction issues a
+subtype query per call site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.program import Clazz, Method, Program
+
+
+class ClassHierarchy:
+    """Subtype relations and CHA dispatch over a :class:`Program`.
+
+    Interfaces participate: ``is_subtype(c, i)`` is true when class
+    ``c`` transitively implements interface ``i``.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self._supertypes: Dict[str, FrozenSet[str]] = {}
+        self._subtypes: Dict[str, Set[str]] = {}
+        self._dispatch_cache: Dict[Tuple[str, str, int], Optional[Method]] = {}
+        for name in program.classes:
+            supers = self._compute_supertypes(name)
+            self._supertypes[name] = supers
+            for s in supers:
+                self._subtypes.setdefault(s, set()).add(name)
+
+    def _compute_supertypes(self, name: str) -> FrozenSet[str]:
+        result: Set[str] = set()
+        work: List[str] = [name]
+        while work:
+            current = work.pop()
+            if current in result:
+                continue
+            result.add(current)
+            c = self.program.clazz(current)
+            if c is None:
+                continue
+            if c.superclass is not None:
+                work.append(c.superclass)
+            work.extend(c.interfaces)
+        return frozenset(result)
+
+    # -- queries -----------------------------------------------------------
+
+    def supertypes(self, name: str) -> FrozenSet[str]:
+        """All transitive supertypes of ``name``, including itself."""
+        result = self._supertypes.get(name)
+        if result is None:
+            result = self._compute_supertypes(name)
+            self._supertypes[name] = result
+        return result
+
+    def subtypes(self, name: str) -> Set[str]:
+        """All transitive subtypes of ``name``, including itself."""
+        result = set(self._subtypes.get(name, ()))
+        result.add(name)
+        return result
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """Is ``sub`` the same as or a transitive subtype of ``sup``?"""
+        if sub == sup:
+            return True
+        return sup in self.supertypes(sub)
+
+    def superclass_chain(self, name: str) -> List[str]:
+        """``name`` and its superclasses, most-derived first."""
+        chain: List[str] = []
+        current: Optional[str] = name
+        seen: Set[str] = set()
+        while current is not None and current not in seen:
+            seen.add(current)
+            chain.append(current)
+            c = self.program.clazz(current)
+            current = c.superclass if c is not None else None
+        return chain
+
+    # -- dispatch ----------------------------------------------------------
+
+    def lookup(self, receiver_class: str, name: str, arity: int) -> Optional[Method]:
+        """Resolve a virtual call for a receiver of *exact* run-time type.
+
+        Walks the superclass chain from ``receiver_class`` upward, like
+        JVM method resolution.
+        """
+        key = (receiver_class, name, arity)
+        if key in self._dispatch_cache:
+            return self._dispatch_cache[key]
+        result: Optional[Method] = None
+        for cname in self.superclass_chain(receiver_class):
+            c = self.program.clazz(cname)
+            if c is None:
+                continue
+            m = c.method(name, arity)
+            if m is not None and not m.is_abstract:
+                result = m
+                break
+        self._dispatch_cache[key] = result
+        return result
+
+    def cha_targets(
+        self, declared_class: str, name: str, arity: int
+    ) -> List[Method]:
+        """All methods a virtual call could dispatch to under CHA.
+
+        Considers every concrete subtype of the declared receiver class
+        and deduplicates the resolved targets.
+        """
+        targets: Dict[Tuple[str, str, int], Method] = {}
+        for sub in self.subtypes(declared_class):
+            c = self.program.clazz(sub)
+            if c is None or c.is_interface:
+                continue
+            m = self.lookup(sub, name, arity)
+            if m is not None:
+                targets[(m.class_name, m.name, len(m.param_names))] = m
+        return list(targets.values())
+
+    # -- convenience class tests --------------------------------------------
+
+    def is_view_class(self, name: str) -> bool:
+        return self.is_subtype(name, "android.view.View")
+
+    def is_activity_class(self, name: str) -> bool:
+        return self.is_subtype(name, "android.app.Activity")
+
+    def is_dialog_class(self, name: str) -> bool:
+        return self.is_subtype(name, "android.app.Dialog")
+
+    def listener_interfaces_of(self, name: str) -> List[str]:
+        """Modelled listener interfaces implemented by class ``name``."""
+        from repro.platform.events import listener_interfaces
+
+        supers = self.supertypes(name)
+        return [i for i in listener_interfaces() if i in supers]
+
+    def is_listener_class(self, name: str) -> bool:
+        return bool(self.listener_interfaces_of(name))

@@ -1,0 +1,80 @@
+"""ALite intermediate representation.
+
+The paper (Section 3.1) abstracts Android applications into a small
+Java-like core language, which we call *ALite*: classes with fields and
+methods, and three-address statements covering assignments, allocations,
+field accesses, calls, and the Android-specific id constants
+``x := R.layout.f`` / ``x := R.id.f``.
+
+This package is the substrate every other part of the reproduction is
+built on: the frontend lowers Java-subset source to this IR, the Dalvik
+text loader produces it, the constraint-graph analysis consumes it, and
+the concrete interpreter executes it.
+"""
+
+from repro.ir.statements import (
+    Assign,
+    BinOp,
+    Cast,
+    ConstInt,
+    ConstLayoutId,
+    ConstMenuId,
+    ConstNull,
+    ConstString,
+    ConstViewId,
+    Goto,
+    If,
+    Invoke,
+    InvokeKind,
+    Label,
+    Load,
+    New,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Statement,
+    Store,
+    UnaryOp,
+)
+from repro.ir.program import Clazz, Field, Local, Method, MethodSig, Program
+from repro.ir.builder import ClassBuilder, MethodBuilder, ProgramBuilder
+from repro.ir.printer import print_program, statement_to_str
+from repro.ir.validate import IRValidationError, validate_program
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Cast",
+    "ClassBuilder",
+    "Clazz",
+    "ConstInt",
+    "ConstLayoutId",
+    "ConstMenuId",
+    "ConstNull",
+    "ConstString",
+    "ConstViewId",
+    "Field",
+    "Goto",
+    "If",
+    "IRValidationError",
+    "Invoke",
+    "InvokeKind",
+    "Label",
+    "Load",
+    "Local",
+    "Method",
+    "MethodBuilder",
+    "MethodSig",
+    "New",
+    "Program",
+    "ProgramBuilder",
+    "Return",
+    "StaticLoad",
+    "StaticStore",
+    "Statement",
+    "Store",
+    "UnaryOp",
+    "print_program",
+    "statement_to_str",
+    "validate_program",
+]

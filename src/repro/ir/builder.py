@@ -1,0 +1,320 @@
+"""Fluent builders for constructing ALite programs in Python code.
+
+The corpus generator and many tests build programs programmatically;
+these builders keep that construction readable:
+
+.. code-block:: python
+
+    pb = ProgramBuilder()
+    with pb.clazz("ConsoleActivity", extends="android.app.Activity") as c:
+        c.field("flip", "android.widget.ViewFlipper")
+        with c.method("onCreate") as m:
+            lid = m.layout_id("act_console")
+            m.invoke(m.this, "setContentView", [lid], line=9)
+
+Builders manage fresh temporary names, auto-declare locals, and track a
+current source line so generated statements carry useful positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.ir.program import Clazz, Field, Local, Method, Program
+from repro.ir.statements import (
+    Assign,
+    Cast,
+    ConstInt,
+    ConstLayoutId,
+    ConstMenuId,
+    ConstNull,
+    ConstString,
+    ConstViewId,
+    Goto,
+    If,
+    Invoke,
+    InvokeKind,
+    Label,
+    Load,
+    New,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Store,
+)
+
+OBJECT = "java.lang.Object"
+
+
+class MethodBuilder:
+    """Builds one method body; usable as a context manager."""
+
+    def __init__(self, method: Method) -> None:
+        self._method = method
+        self._tmp_counter = 0
+        self._label_counter = 0
+        self.line: Optional[int] = None
+
+    # -- plumbing ---------------------------------------------------------
+
+    def __enter__(self) -> "MethodBuilder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    @property
+    def method(self) -> Method:
+        return self._method
+
+    @property
+    def this(self) -> str:
+        if self._method.is_static:
+            raise ValueError("static method has no 'this'")
+        return "this"
+
+    def fresh(self, type_name: str = OBJECT, hint: str = "t") -> str:
+        """Declare and return a fresh temporary local."""
+        while True:
+            self._tmp_counter += 1
+            name = f"{hint}{self._tmp_counter}"
+            if name not in self._method.locals:
+                break
+        self._method.add_local(name, type_name)
+        return name
+
+    def fresh_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def local(self, name: str, type_name: str = OBJECT) -> str:
+        """Declare a named local (idempotent if types agree)."""
+        existing = self._method.locals.get(name)
+        if existing is None:
+            self._method.add_local(name, type_name)
+        elif existing.type_name != type_name:
+            raise ValueError(
+                f"local {name!r} redeclared with type {type_name!r} "
+                f"(was {existing.type_name!r})"
+            )
+        return name
+
+    def at(self, line: Optional[int]) -> "MethodBuilder":
+        """Set the source line attached to subsequently emitted statements."""
+        self.line = line
+        return self
+
+    def _emit(self, stmt, line: Optional[int]) -> None:
+        stmt.line = line if line is not None else self.line
+        self._method.append(stmt)
+
+    # -- statements -------------------------------------------------------
+
+    def assign(self, lhs: str, rhs: str, line: Optional[int] = None) -> str:
+        self._emit(Assign(lhs, rhs), line)
+        return lhs
+
+    def cast(
+        self, type_name: str, rhs: str, lhs: Optional[str] = None, line: Optional[int] = None
+    ) -> str:
+        lhs = lhs or self.fresh(type_name)
+        self._emit(Cast(lhs, type_name, rhs), line)
+        return lhs
+
+    def new(
+        self, class_name: str, lhs: Optional[str] = None, line: Optional[int] = None
+    ) -> str:
+        lhs = lhs or self.fresh(class_name)
+        self._emit(New(lhs, class_name), line)
+        return lhs
+
+    def load(
+        self,
+        base: str,
+        field_name: str,
+        lhs: Optional[str] = None,
+        type_name: str = OBJECT,
+        line: Optional[int] = None,
+    ) -> str:
+        lhs = lhs or self.fresh(type_name)
+        self._emit(Load(lhs, base, field_name), line)
+        return lhs
+
+    def store(self, base: str, field_name: str, rhs: str, line: Optional[int] = None) -> None:
+        self._emit(Store(base, field_name, rhs), line)
+
+    def static_load(
+        self,
+        class_name: str,
+        field_name: str,
+        lhs: Optional[str] = None,
+        type_name: str = OBJECT,
+        line: Optional[int] = None,
+    ) -> str:
+        lhs = lhs or self.fresh(type_name)
+        self._emit(StaticLoad(lhs, class_name, field_name), line)
+        return lhs
+
+    def static_store(
+        self, class_name: str, field_name: str, rhs: str, line: Optional[int] = None
+    ) -> None:
+        self._emit(StaticStore(class_name, field_name, rhs), line)
+
+    def layout_id(
+        self, layout_name: str, lhs: Optional[str] = None, line: Optional[int] = None
+    ) -> str:
+        lhs = lhs or self.fresh("int")
+        self._emit(ConstLayoutId(lhs, layout_name), line)
+        return lhs
+
+    def view_id(
+        self, id_name: str, lhs: Optional[str] = None, line: Optional[int] = None
+    ) -> str:
+        lhs = lhs or self.fresh("int")
+        self._emit(ConstViewId(lhs, id_name), line)
+        return lhs
+
+    def menu_id(
+        self, menu_name: str, lhs: Optional[str] = None, line: Optional[int] = None
+    ) -> str:
+        lhs = lhs or self.fresh("int")
+        self._emit(ConstMenuId(lhs, menu_name), line)
+        return lhs
+
+    def const_int(
+        self, value: int, lhs: Optional[str] = None, line: Optional[int] = None
+    ) -> str:
+        lhs = lhs or self.fresh("int")
+        self._emit(ConstInt(lhs, value), line)
+        return lhs
+
+    def const_string(
+        self, value: str, lhs: Optional[str] = None, line: Optional[int] = None
+    ) -> str:
+        lhs = lhs or self.fresh("java.lang.String")
+        self._emit(ConstString(lhs, value), line)
+        return lhs
+
+    def const_null(self, lhs: Optional[str] = None, line: Optional[int] = None) -> str:
+        lhs = lhs or self.fresh(OBJECT)
+        self._emit(ConstNull(lhs), line)
+        return lhs
+
+    def invoke(
+        self,
+        base: str,
+        method_name: str,
+        args: Sequence[str] = (),
+        lhs: Optional[str] = None,
+        class_name: Optional[str] = None,
+        kind: InvokeKind = InvokeKind.VIRTUAL,
+        line: Optional[int] = None,
+    ) -> Optional[str]:
+        """Emit a virtual/interface/special call ``lhs := base.m(args)``.
+
+        When ``class_name`` is omitted it defaults to the declared type
+        of ``base``, which matches Java source semantics.
+        """
+        if class_name is None:
+            class_name = self._method.local_type(base)
+        self._emit(
+            Invoke(lhs, kind, base, class_name, method_name, tuple(args)), line
+        )
+        return lhs
+
+    def invoke_static(
+        self,
+        class_name: str,
+        method_name: str,
+        args: Sequence[str] = (),
+        lhs: Optional[str] = None,
+        line: Optional[int] = None,
+    ) -> Optional[str]:
+        self._emit(
+            Invoke(lhs, InvokeKind.STATIC, None, class_name, method_name, tuple(args)),
+            line,
+        )
+        return lhs
+
+    def ret(self, var: Optional[str] = None, line: Optional[int] = None) -> None:
+        self._emit(Return(var), line)
+
+    def label(self, name: str, line: Optional[int] = None) -> None:
+        self._emit(Label(name), line)
+
+    def goto(self, target: str, line: Optional[int] = None) -> None:
+        self._emit(Goto(target), line)
+
+    def if_goto(self, cond: str, target: str, line: Optional[int] = None) -> None:
+        self._emit(If(cond, target), line)
+
+
+class ClassBuilder:
+    """Builds one class; usable as a context manager."""
+
+    def __init__(self, clazz: Clazz) -> None:
+        self._clazz = clazz
+
+    def __enter__(self) -> "ClassBuilder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    @property
+    def clazz(self) -> Clazz:
+        return self._clazz
+
+    @property
+    def name(self) -> str:
+        return self._clazz.name
+
+    def field(self, name: str, type_name: str, is_static: bool = False) -> None:
+        self._clazz.add_field(Field(name, type_name, is_static=is_static))
+
+    def method(
+        self,
+        name: str,
+        params: Iterable[Tuple[str, str]] = (),
+        returns: str = "void",
+        is_static: bool = False,
+        is_abstract: bool = False,
+    ) -> MethodBuilder:
+        m = Method(
+            name,
+            self._clazz.name,
+            params=params,
+            return_type=returns,
+            is_static=is_static,
+            is_abstract=is_abstract,
+        )
+        self._clazz.add_method(m)
+        return MethodBuilder(m)
+
+
+class ProgramBuilder:
+    """Builds a whole program, optionally seeded with platform classes."""
+
+    def __init__(self, program: Optional[Program] = None) -> None:
+        self.program = program if program is not None else Program()
+
+    def clazz(
+        self,
+        name: str,
+        extends: str = OBJECT,
+        implements: Iterable[str] = (),
+        is_interface: bool = False,
+        is_platform: bool = False,
+    ) -> ClassBuilder:
+        c = Clazz(
+            name,
+            superclass=extends,
+            interfaces=implements,
+            is_interface=is_interface,
+            is_platform=is_platform,
+        )
+        self.program.add_class(c)
+        return ClassBuilder(c)
+
+    def build(self) -> Program:
+        return self.program

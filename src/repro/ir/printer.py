@@ -1,0 +1,126 @@
+"""Human-readable printing of ALite IR.
+
+Used for debugging, golden tests, and as the "disassembly" half of the
+Dalvik-text round trip (``repro.dex`` has its own stricter format; this
+printer favours readability).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.program import Clazz, Method, Program
+from repro.ir.statements import (
+    Assign,
+    BinOp,
+    Cast,
+    ConstInt,
+    ConstLayoutId,
+    ConstMenuId,
+    ConstNull,
+    ConstString,
+    ConstViewId,
+    Goto,
+    If,
+    Invoke,
+    InvokeKind,
+    Label,
+    Load,
+    New,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Statement,
+    Store,
+    UnaryOp,
+)
+
+
+def statement_to_str(stmt: Statement) -> str:
+    """Render one statement as ALite-flavoured pseudo-code."""
+    if isinstance(stmt, Assign):
+        return f"{stmt.lhs} := {stmt.rhs}"
+    if isinstance(stmt, Cast):
+        return f"{stmt.lhs} := ({stmt.type_name}) {stmt.rhs}"
+    if isinstance(stmt, New):
+        return f"{stmt.lhs} := new {stmt.class_name}"
+    if isinstance(stmt, Load):
+        return f"{stmt.lhs} := {stmt.base}.{stmt.field_name}"
+    if isinstance(stmt, Store):
+        return f"{stmt.base}.{stmt.field_name} := {stmt.rhs}"
+    if isinstance(stmt, StaticLoad):
+        return f"{stmt.lhs} := {stmt.class_name}.{stmt.field_name}"
+    if isinstance(stmt, StaticStore):
+        return f"{stmt.class_name}.{stmt.field_name} := {stmt.rhs}"
+    if isinstance(stmt, ConstLayoutId):
+        return f"{stmt.lhs} := R.layout.{stmt.layout_name}"
+    if isinstance(stmt, ConstViewId):
+        return f"{stmt.lhs} := R.id.{stmt.id_name}"
+    if isinstance(stmt, ConstMenuId):
+        return f"{stmt.lhs} := R.menu.{stmt.menu_name}"
+    if isinstance(stmt, ConstInt):
+        return f"{stmt.lhs} := {stmt.value}"
+    if isinstance(stmt, ConstString):
+        return f'{stmt.lhs} := "{stmt.value}"'
+    if isinstance(stmt, ConstNull):
+        return f"{stmt.lhs} := null"
+    if isinstance(stmt, Invoke):
+        args = ", ".join(stmt.args)
+        if stmt.kind is InvokeKind.STATIC:
+            call = f"{stmt.class_name}.{stmt.method_name}({args})"
+        else:
+            call = f"{stmt.base}.[{stmt.class_name}]{stmt.method_name}({args})"
+        return f"{stmt.lhs} := {call}" if stmt.lhs is not None else call
+    if isinstance(stmt, Return):
+        return f"return {stmt.var}" if stmt.var is not None else "return"
+    if isinstance(stmt, Label):
+        return f"{stmt.name}:"
+    if isinstance(stmt, Goto):
+        return f"goto {stmt.target}"
+    if isinstance(stmt, If):
+        return f"if {stmt.cond} goto {stmt.target}"
+    if isinstance(stmt, BinOp):
+        return f"{stmt.lhs} := {stmt.a} {stmt.op} {stmt.b}"
+    if isinstance(stmt, UnaryOp):
+        return f"{stmt.lhs} := {stmt.op}{stmt.a}"
+    raise TypeError(f"unknown statement type {type(stmt).__name__}")
+
+
+def method_to_lines(method: Method) -> List[str]:
+    params = ", ".join(
+        f"{method.locals[p].type_name} {p}" for p in method.param_names
+    )
+    flags = "static " if method.is_static else ""
+    lines = [f"  {flags}{method.return_type} {method.name}({params}) {{"]
+    for stmt in method.body:
+        loc = f"  // line {stmt.line}" if stmt.line is not None else ""
+        lines.append(f"    {statement_to_str(stmt)};{loc}")
+    lines.append("  }")
+    return lines
+
+
+def class_to_lines(clazz: Clazz) -> List[str]:
+    kind = "interface" if clazz.is_interface else "class"
+    parts = [f"{kind} {clazz.name}"]
+    if clazz.superclass and clazz.superclass != "java.lang.Object":
+        parts.append(f"extends {clazz.superclass}")
+    if clazz.interfaces:
+        parts.append("implements " + ", ".join(clazz.interfaces))
+    lines = [" ".join(parts) + " {"]
+    for f in clazz.fields.values():
+        lines.append(f"  {f};")
+    for m in clazz.methods.values():
+        lines.extend(method_to_lines(m))
+    lines.append("}")
+    return lines
+
+
+def print_program(program: Program, include_platform: bool = False) -> str:
+    """Render the whole program (application classes by default)."""
+    lines: List[str] = []
+    for c in program.classes.values():
+        if c.is_platform and not include_platform:
+            continue
+        lines.extend(class_to_lines(c))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Model of the Android platform surface relevant to the analysis.
+
+The paper analyzes application code only; platform behaviour is
+captured by semantic rules for a small number of operation categories
+(Section 3.2). This package provides:
+
+* :mod:`repro.platform.classes` — stub ``android.*`` classes (the view
+  widget hierarchy, ``Activity``, ``Dialog``, listener interfaces) so
+  that application programs type-check against a realistic hierarchy;
+* :mod:`repro.platform.events` — the catalog of GUI event kinds, their
+  listener interfaces, registration methods, and handler signatures;
+* :mod:`repro.platform.api` — classification of call sites into the
+  nine operation categories (``Inflate1/2``, ``AddView1/2``, ``SetId``,
+  ``SetListener``, ``FindView1/2/3``) plus extensions.
+"""
+
+from repro.platform.classes import (
+    ACTIVITY,
+    CONTEXT,
+    DIALOG,
+    LAYOUT_INFLATER,
+    OBJECT,
+    VIEW,
+    VIEW_GROUP,
+    install_platform,
+    platform_class_names,
+)
+from repro.platform.events import (
+    EventKind,
+    ListenerSpec,
+    LISTENER_SPECS,
+    listener_interfaces,
+    spec_for_interface,
+    spec_for_registration,
+)
+from repro.platform.api import OpKind, OpSpec, classify_invoke
+
+__all__ = [
+    "ACTIVITY",
+    "CONTEXT",
+    "DIALOG",
+    "EventKind",
+    "LAYOUT_INFLATER",
+    "LISTENER_SPECS",
+    "ListenerSpec",
+    "OBJECT",
+    "OpKind",
+    "OpSpec",
+    "VIEW",
+    "VIEW_GROUP",
+    "classify_invoke",
+    "install_platform",
+    "listener_interfaces",
+    "platform_class_names",
+    "spec_for_interface",
+    "spec_for_registration",
+]

@@ -1,0 +1,262 @@
+"""Classification of call sites into the paper's operation categories.
+
+Section 3.2 defines nine semantic rules; Section 4.3 notes that each
+rule "in reality corresponds to a wide variety of Android APIs". This
+module is the catalog that recognises those APIs at call sites and maps
+them to an :class:`OpKind` plus the metadata the analysis needs (which
+argument carries the layout id / child view / listener, whether a
+``FindView3`` operation is restricted to direct children, which event
+kind a ``SetListener`` registers for).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.program import Method
+from repro.ir.statements import Invoke, InvokeKind
+from repro.hierarchy.cha import ClassHierarchy
+from repro.platform.classes import (
+    ACTIVITY,
+    DIALOG,
+    LAYOUT_INFLATER,
+    VIEW,
+    VIEW_ANIMATOR,
+    VIEW_GROUP,
+)
+from repro.platform.events import ListenerSpec, spec_for_registration
+
+
+class OpKind(enum.Enum):
+    """Operation categories from the formal semantics (Section 3.2)."""
+
+    INFLATE1 = "Inflate1"  # inflater call returning the root view
+    INFLATE2 = "Inflate2"  # Activity/Dialog.setContentView(int)
+    ADDVIEW1 = "AddView1"  # Activity/Dialog.setContentView(View)
+    ADDVIEW2 = "AddView2"  # ViewGroup.addView(View, ...)
+    SETID = "SetId"  # View.setId(int)
+    SETLISTENER = "SetListener"  # View.setOn*Listener(listener)
+    FINDVIEW1 = "FindView1"  # View.findViewById(int)
+    FINDVIEW2 = "FindView2"  # Activity/Dialog.findViewById(int)
+    FINDVIEW3 = "FindView3"  # property-based retrieval (findFocus, ...)
+    GETPARENT = "GetParent"  # extension: View.getParent()
+    FRAGMENT_MGR = "FragmentMgr"  # extension: getFragmentManager/beginTransaction
+    FRAGMENT_TX = "FragmentTx"  # extension: FragmentTransaction.add/replace
+    MENU_INFLATE = "MenuInflate"  # extension: MenuInflater.inflate(R.menu.x, menu)
+    SET_ADAPTER = "SetAdapter"  # extension: AdapterView.setAdapter(adapter)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """The classification result for one call site.
+
+    ``arg_index`` locates the semantically relevant argument for the
+    kind: the layout id for inflations, the child view for add-view,
+    the view id for find-view 1/2, the id for set-id, the listener for
+    set-listener. ``None`` when the kind takes no argument
+    (``FindView3``/``GetParent``).
+
+    ``children_only`` applies to ``FINDVIEW3``: operations like
+    ``getCurrentView()``/``getChildAt(int)`` retrieve a *direct child*
+    only, the refinement the paper mentions employing; ``findFocus()``
+    may retrieve any descendant.
+
+    ``listener`` carries the listener-family metadata for
+    ``SETLISTENER`` sites.
+
+    ``arg_index2`` locates a second semantically relevant argument
+    (the fragment of a ``FragmentTransaction.add(containerId, f)``).
+    """
+
+    kind: OpKind
+    arg_index: Optional[int] = None
+    arg_index2: Optional[int] = None
+    children_only: bool = False
+    listener: Optional[ListenerSpec] = None
+
+
+# FindView3-style retrievals: name -> (required receiver type, children_only).
+_FINDVIEW3_METHODS = {
+    "findFocus": (VIEW, False),
+    "getFocusedChild": (VIEW_GROUP, True),
+    "getChildAt": (VIEW_GROUP, True),
+    "getCurrentView": (VIEW_ANIMATOR, True),
+    "getSelectedView": ("android.widget.AdapterView", True),
+}
+
+# Activity lifecycle / framework callbacks that receive the activity as
+# the receiver object. Used (together with the on* prefix heuristic) to
+# decide where activity nodes flow as `this`.
+ACTIVITY_LIFECYCLE_CALLBACKS = frozenset(
+    {
+        "onCreate",
+        "onStart",
+        "onRestart",
+        "onResume",
+        "onPause",
+        "onStop",
+        "onDestroy",
+        "onCreateOptionsMenu",
+        "onPrepareOptionsMenu",
+        "onOptionsItemSelected",
+        "onCreateContextMenu",
+        "onContextItemSelected",
+        "onActivityResult",
+        "onSaveInstanceState",
+        "onRestoreInstanceState",
+        "onBackPressed",
+        "onNewIntent",
+        "onConfigurationChanged",
+        "onKeyDown",
+        "onKeyUp",
+        "onTouchEvent",
+        "onCreateDialog",
+        "onPrepareDialog",
+    }
+)
+
+
+def is_framework_callback(method_name: str) -> bool:
+    """Heuristic from the paper's implementation: ``on*`` methods on
+    framework-managed classes are treated as framework callbacks."""
+    return method_name in ACTIVITY_LIFECYCLE_CALLBACKS or (
+        method_name.startswith("on") and len(method_name) > 2 and method_name[2].isupper()
+    )
+
+
+def _receiver_type(caller: Method, stmt: Invoke) -> str:
+    """Static type of the receiver: the declared type of the base
+    variable when known, else the syntactic owner class."""
+    if stmt.base is not None:
+        local = caller.locals.get(stmt.base)
+        if local is not None:
+            return local.type_name
+    return stmt.class_name
+
+
+def _arg_is_int(caller: Method, stmt: Invoke, index: int) -> bool:
+    if index >= len(stmt.args):
+        return False
+    local = caller.locals.get(stmt.args[index])
+    return local is not None and local.type_name in ("int", "java.lang.Integer")
+
+
+def classify_invoke(
+    hierarchy: ClassHierarchy, caller: Method, stmt: Invoke
+) -> Optional[OpSpec]:
+    """Classify a call site; ``None`` when it is not a modelled operation.
+
+    Application-defined overrides shadow the platform APIs: if the
+    receiver's static type resolves the call to an application method,
+    the call is ordinary interprocedural flow, not an operation.
+    """
+    name = stmt.method_name
+    nargs = len(stmt.args)
+
+    if stmt.kind is InvokeKind.STATIC:
+        # View.inflate(Context, int, ViewGroup) — static inflater.
+        if (
+            name == "inflate"
+            and hierarchy.is_subtype(stmt.class_name, VIEW)
+            and nargs >= 2
+        ):
+            return OpSpec(OpKind.INFLATE1, arg_index=1)
+        return None
+
+    recv = _receiver_type(caller, stmt)
+    is_view = hierarchy.is_subtype(recv, VIEW)
+    is_activity = hierarchy.is_subtype(recv, ACTIVITY)
+    is_dialog = hierarchy.is_subtype(recv, DIALOG)
+
+    # An application class overriding e.g. findViewById (as
+    # ConsoleActivity does in Figure 1) makes the call ordinary code.
+    if _resolves_to_application(hierarchy, recv, name, nargs):
+        return None
+
+    if name == "inflate" and hierarchy.is_subtype(recv, LAYOUT_INFLATER) and nargs >= 1:
+        return OpSpec(OpKind.INFLATE1, arg_index=0)
+
+    if (
+        name == "inflate"
+        and hierarchy.is_subtype(recv, "android.view.MenuInflater")
+        and nargs >= 2
+    ):
+        return OpSpec(OpKind.MENU_INFLATE, arg_index=0, arg_index2=1)
+
+    if name == "setContentView" and (is_activity or is_dialog) and nargs == 1:
+        if _arg_is_int(caller, stmt, 0):
+            return OpSpec(OpKind.INFLATE2, arg_index=0)
+        return OpSpec(OpKind.ADDVIEW1, arg_index=0)
+
+    if name == "addView" and hierarchy.is_subtype(recv, VIEW_GROUP) and nargs >= 1:
+        return OpSpec(OpKind.ADDVIEW2, arg_index=0)
+
+    if name == "setId" and is_view and nargs == 1:
+        return OpSpec(OpKind.SETID, arg_index=0)
+
+    if (
+        name == "setAdapter"
+        and hierarchy.is_subtype(recv, "android.widget.AdapterView")
+        and nargs == 1
+    ):
+        return OpSpec(OpKind.SET_ADAPTER, arg_index=0)
+
+    if is_view and nargs >= 1:
+        listener_spec = spec_for_registration(name)
+        if listener_spec is not None:
+            return OpSpec(OpKind.SETLISTENER, arg_index=0, listener=listener_spec)
+
+    if name == "findViewById" and nargs == 1:
+        if is_view:
+            return OpSpec(OpKind.FINDVIEW1, arg_index=0)
+        if is_activity or is_dialog:
+            return OpSpec(OpKind.FINDVIEW2, arg_index=0)
+
+    if name in _FINDVIEW3_METHODS and stmt.lhs is not None:
+        required, children_only = _FINDVIEW3_METHODS[name]
+        if hierarchy.is_subtype(recv, required):
+            return OpSpec(OpKind.FINDVIEW3, children_only=children_only)
+
+    if name == "getParent" and is_view and nargs == 0 and stmt.lhs is not None:
+        return OpSpec(OpKind.GETPARENT)
+
+    # Fragment extension: managers and transactions alias the activity
+    # that owns them; add/replace attaches a fragment's view hierarchy
+    # under the container view with the given id.
+    if (
+        name in ("getFragmentManager", "getSupportFragmentManager")
+        and (is_activity or is_dialog)
+        and nargs == 0
+        and stmt.lhs is not None
+    ):
+        return OpSpec(OpKind.FRAGMENT_MGR)
+    if (
+        name == "beginTransaction"
+        and hierarchy.is_subtype(recv, "android.app.FragmentManager")
+        and nargs == 0
+        and stmt.lhs is not None
+    ):
+        return OpSpec(OpKind.FRAGMENT_MGR)
+    if (
+        name in ("add", "replace")
+        and hierarchy.is_subtype(recv, "android.app.FragmentTransaction")
+        and nargs >= 2
+    ):
+        return OpSpec(OpKind.FRAGMENT_TX, arg_index=0, arg_index2=1)
+
+    return None
+
+
+def _resolves_to_application(
+    hierarchy: ClassHierarchy, receiver_type: str, name: str, arity: int
+) -> bool:
+    m = hierarchy.lookup(receiver_type, name, arity)
+    if m is None:
+        return False
+    owner = hierarchy.program.clazz(m.class_name)
+    return owner is not None and owner.is_application

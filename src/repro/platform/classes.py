@@ -1,0 +1,169 @@
+"""Stub definitions of the Android platform class hierarchy.
+
+Only structure (names, supertypes) matters: the analysis never looks at
+platform method bodies (the paper explicitly excludes them, modelling
+platform semantics through the operation rules instead). The hierarchy
+below covers the standard widget/container classes real apps use, which
+the corpus generator and the running example draw from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.ir.program import Clazz, Program
+
+OBJECT = "java.lang.Object"
+STRING = "java.lang.String"
+CONTEXT = "android.content.Context"
+ACTIVITY = "android.app.Activity"
+DIALOG = "android.app.Dialog"
+ALERT_DIALOG = "android.app.AlertDialog"
+VIEW = "android.view.View"
+VIEW_GROUP = "android.view.ViewGroup"
+LAYOUT_INFLATER = "android.view.LayoutInflater"
+VIEW_ANIMATOR = "android.widget.ViewAnimator"
+ADAPTER_VIEW = "android.widget.AdapterView"
+COMPOUND_BUTTON = "android.widget.CompoundButton"
+
+# (class name, superclass, is_interface)
+_PLATFORM_HIERARCHY: List[Tuple[str, str, bool]] = [
+    (STRING, OBJECT, False),
+    (CONTEXT, OBJECT, False),
+    (ACTIVITY, CONTEXT, False),
+    (DIALOG, OBJECT, False),
+    (ALERT_DIALOG, DIALOG, False),
+    (LAYOUT_INFLATER, OBJECT, False),
+    # Fragments (an extension beyond the paper's implementation, which
+    # notes dialogs/fragments as unhandled).
+    ("android.app.Fragment", OBJECT, False),
+    ("android.app.FragmentManager", OBJECT, False),
+    ("android.app.FragmentTransaction", OBJECT, False),
+    ("android.widget.BaseAdapter", OBJECT, False),
+    # Core view classes.
+    (VIEW, OBJECT, False),
+    (VIEW_GROUP, VIEW, False),
+    # Simple widgets.
+    ("android.widget.TextView", VIEW, False),
+    ("android.widget.EditText", "android.widget.TextView", False),
+    ("android.widget.Button", "android.widget.TextView", False),
+    (COMPOUND_BUTTON, "android.widget.Button", False),
+    ("android.widget.CheckBox", COMPOUND_BUTTON, False),
+    ("android.widget.RadioButton", COMPOUND_BUTTON, False),
+    ("android.widget.ToggleButton", COMPOUND_BUTTON, False),
+    ("android.widget.ImageView", VIEW, False),
+    ("android.widget.ImageButton", "android.widget.ImageView", False),
+    ("android.widget.ProgressBar", VIEW, False),
+    ("android.widget.SeekBar", "android.widget.ProgressBar", False),
+    ("android.widget.RatingBar", "android.widget.ProgressBar", False),
+    ("android.view.SurfaceView", VIEW, False),
+    # Containers.
+    ("android.widget.FrameLayout", VIEW_GROUP, False),
+    ("android.widget.LinearLayout", VIEW_GROUP, False),
+    ("android.widget.RelativeLayout", VIEW_GROUP, False),
+    ("android.widget.TableLayout", "android.widget.LinearLayout", False),
+    ("android.widget.TableRow", "android.widget.LinearLayout", False),
+    ("android.widget.RadioGroup", "android.widget.LinearLayout", False),
+    ("android.widget.GridLayout", VIEW_GROUP, False),
+    ("android.widget.ScrollView", "android.widget.FrameLayout", False),
+    ("android.widget.HorizontalScrollView", "android.widget.FrameLayout", False),
+    ("android.widget.TabHost", "android.widget.FrameLayout", False),
+    ("android.widget.TabWidget", "android.widget.LinearLayout", False),
+    (VIEW_ANIMATOR, "android.widget.FrameLayout", False),
+    ("android.widget.ViewFlipper", VIEW_ANIMATOR, False),
+    ("android.widget.ViewSwitcher", VIEW_ANIMATOR, False),
+    (ADAPTER_VIEW, VIEW_GROUP, False),
+    ("android.widget.ListView", ADAPTER_VIEW, False),
+    ("android.widget.GridView", ADAPTER_VIEW, False),
+    ("android.widget.Spinner", ADAPTER_VIEW, False),
+    ("android.widget.Gallery", ADAPTER_VIEW, False),
+    ("android.webkit.WebView", VIEW_GROUP, False),
+    # Auxiliary platform types that appear in handler signatures.
+    ("android.view.MotionEvent", OBJECT, False),
+    ("android.view.KeyEvent", OBJECT, False),
+    ("android.view.Menu", OBJECT, False),
+    ("android.view.MenuItem", OBJECT, False),
+    ("android.view.MenuInflater", OBJECT, False),
+    ("android.view.ContextMenu", OBJECT, False),
+    ("android.text.Editable", OBJECT, False),
+    ("android.os.Bundle", OBJECT, False),
+    ("android.content.Intent", OBJECT, False),
+]
+
+# Listener interfaces; bodies live in repro.platform.events but the
+# *types* must exist in the hierarchy for subtype queries.
+_LISTENER_INTERFACES: List[str] = [
+    "android.view.View$OnClickListener",
+    "android.view.View$OnLongClickListener",
+    "android.view.View$OnTouchListener",
+    "android.view.View$OnKeyListener",
+    "android.view.View$OnFocusChangeListener",
+    "android.view.View$OnCreateContextMenuListener",
+    "android.widget.AdapterView$OnItemClickListener",
+    "android.widget.AdapterView$OnItemLongClickListener",
+    "android.widget.AdapterView$OnItemSelectedListener",
+    "android.widget.CompoundButton$OnCheckedChangeListener",
+    "android.widget.SeekBar$OnSeekBarChangeListener",
+    "android.text.TextWatcher",
+]
+
+
+def platform_class_names() -> List[str]:
+    """All platform class and interface names installed by this module."""
+    names = [OBJECT]
+    names.extend(name for name, _super, _iface in _PLATFORM_HIERARCHY)
+    names.extend(_LISTENER_INTERFACES)
+    return names
+
+
+def install_platform(program: Program) -> Program:
+    """Add the platform stub classes to ``program`` (idempotent)."""
+    if program.clazz(OBJECT) is None:
+        program.add_class(Clazz(OBJECT, superclass=None, is_platform=True))
+    for name, superclass, is_interface in _PLATFORM_HIERARCHY:
+        if program.clazz(name) is None:
+            program.add_class(
+                Clazz(
+                    name,
+                    superclass=superclass,
+                    is_interface=is_interface,
+                    is_platform=True,
+                )
+            )
+    for name in _LISTENER_INTERFACES:
+        if program.clazz(name) is None:
+            program.add_class(
+                Clazz(name, superclass=OBJECT, is_interface=True, is_platform=True)
+            )
+    return program
+
+
+def widget_leaf_classes() -> List[str]:
+    """Concrete non-container widget classes (used by the generator)."""
+    return [
+        "android.widget.TextView",
+        "android.widget.EditText",
+        "android.widget.Button",
+        "android.widget.CheckBox",
+        "android.widget.RadioButton",
+        "android.widget.ToggleButton",
+        "android.widget.ImageView",
+        "android.widget.ImageButton",
+        "android.widget.ProgressBar",
+        "android.widget.SeekBar",
+        "android.widget.RatingBar",
+    ]
+
+
+def container_classes() -> List[str]:
+    """Concrete container (ViewGroup) classes (used by the generator)."""
+    return [
+        "android.widget.FrameLayout",
+        "android.widget.LinearLayout",
+        "android.widget.RelativeLayout",
+        "android.widget.TableLayout",
+        "android.widget.ScrollView",
+        "android.widget.ViewFlipper",
+        "android.widget.ListView",
+        "android.widget.GridLayout",
+    ]

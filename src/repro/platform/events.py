@@ -1,0 +1,191 @@
+"""Catalog of GUI event kinds, listener interfaces, and handler methods.
+
+The paper's ``SetListener`` rule (Section 3.2.2) and its callback
+modelling (end of Section 3) need, for every listener-registration call
+``x.m(y)``:
+
+* which event kind ``m`` registers for,
+* the Android-defined handler signature ``n`` on the listener
+  interface, and
+* whether (and at which argument position) the handler receives the
+  view the event occurred on — the paper models the callback as
+  ``y.n(x)``.
+
+This module records that mapping for the common listener families.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    """GUI event categories with distinct listener interfaces."""
+
+    CLICK = "click"
+    LONG_CLICK = "long_click"
+    TOUCH = "touch"
+    KEY = "key"
+    FOCUS_CHANGE = "focus_change"
+    CREATE_CONTEXT_MENU = "create_context_menu"
+    ITEM_CLICK = "item_click"
+    ITEM_LONG_CLICK = "item_long_click"
+    ITEM_SELECTED = "item_selected"
+    CHECKED_CHANGE = "checked_change"
+    SEEK_BAR_CHANGE = "seek_bar_change"
+    TEXT_CHANGED = "text_changed"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ListenerSpec:
+    """One listener family.
+
+    ``handler_params`` are the parameter types of the handler method as
+    declared by the interface. ``view_param_index`` is the position of
+    the parameter that receives the event's view, or ``None`` when the
+    handler does not receive the view (e.g. ``TextWatcher``).
+    """
+
+    event: EventKind
+    interface: str
+    registration: str  # e.g. "setOnClickListener"
+    handler: str  # e.g. "onClick"
+    handler_params: Tuple[str, ...]
+    view_param_index: Optional[int]
+    # AdapterView families additionally pass the clicked *row* view:
+    # the parameter receiving a child of the registered view, if any.
+    item_param_index: Optional[int] = None
+
+    @property
+    def handler_arity(self) -> int:
+        return len(self.handler_params)
+
+
+LISTENER_SPECS: List[ListenerSpec] = [
+    ListenerSpec(
+        EventKind.CLICK,
+        "android.view.View$OnClickListener",
+        "setOnClickListener",
+        "onClick",
+        ("android.view.View",),
+        0,
+    ),
+    ListenerSpec(
+        EventKind.LONG_CLICK,
+        "android.view.View$OnLongClickListener",
+        "setOnLongClickListener",
+        "onLongClick",
+        ("android.view.View",),
+        0,
+    ),
+    ListenerSpec(
+        EventKind.TOUCH,
+        "android.view.View$OnTouchListener",
+        "setOnTouchListener",
+        "onTouch",
+        ("android.view.View", "android.view.MotionEvent"),
+        0,
+    ),
+    ListenerSpec(
+        EventKind.KEY,
+        "android.view.View$OnKeyListener",
+        "setOnKeyListener",
+        "onKey",
+        ("android.view.View", "int", "android.view.KeyEvent"),
+        0,
+    ),
+    ListenerSpec(
+        EventKind.FOCUS_CHANGE,
+        "android.view.View$OnFocusChangeListener",
+        "setOnFocusChangeListener",
+        "onFocusChange",
+        ("android.view.View", "boolean"),
+        0,
+    ),
+    ListenerSpec(
+        EventKind.CREATE_CONTEXT_MENU,
+        "android.view.View$OnCreateContextMenuListener",
+        "setOnCreateContextMenuListener",
+        "onCreateContextMenu",
+        ("android.view.ContextMenu", "android.view.View", "java.lang.Object"),
+        1,
+    ),
+    ListenerSpec(
+        EventKind.ITEM_CLICK,
+        "android.widget.AdapterView$OnItemClickListener",
+        "setOnItemClickListener",
+        "onItemClick",
+        ("android.widget.AdapterView", "android.view.View", "int", "long"),
+        0,
+        item_param_index=1,
+    ),
+    ListenerSpec(
+        EventKind.ITEM_LONG_CLICK,
+        "android.widget.AdapterView$OnItemLongClickListener",
+        "setOnItemLongClickListener",
+        "onItemLongClick",
+        ("android.widget.AdapterView", "android.view.View", "int", "long"),
+        0,
+        item_param_index=1,
+    ),
+    ListenerSpec(
+        EventKind.ITEM_SELECTED,
+        "android.widget.AdapterView$OnItemSelectedListener",
+        "setOnItemSelectedListener",
+        "onItemSelected",
+        ("android.widget.AdapterView", "android.view.View", "int", "long"),
+        0,
+        item_param_index=1,
+    ),
+    ListenerSpec(
+        EventKind.CHECKED_CHANGE,
+        "android.widget.CompoundButton$OnCheckedChangeListener",
+        "setOnCheckedChangeListener",
+        "onCheckedChanged",
+        ("android.widget.CompoundButton", "boolean"),
+        0,
+    ),
+    ListenerSpec(
+        EventKind.SEEK_BAR_CHANGE,
+        "android.widget.SeekBar$OnSeekBarChangeListener",
+        "setOnSeekBarChangeListener",
+        "onProgressChanged",
+        ("android.widget.SeekBar", "int", "boolean"),
+        0,
+    ),
+    ListenerSpec(
+        EventKind.TEXT_CHANGED,
+        "android.text.TextWatcher",
+        "addTextChangedListener",
+        "afterTextChanged",
+        ("android.text.Editable",),
+        None,
+    ),
+]
+
+_BY_REGISTRATION: Dict[str, ListenerSpec] = {
+    spec.registration: spec for spec in LISTENER_SPECS
+}
+_BY_INTERFACE: Dict[str, ListenerSpec] = {
+    spec.interface: spec for spec in LISTENER_SPECS
+}
+
+
+def spec_for_registration(method_name: str) -> Optional[ListenerSpec]:
+    """Look up the listener family registered by a ``setOn...`` call."""
+    return _BY_REGISTRATION.get(method_name)
+
+
+def spec_for_interface(interface: str) -> Optional[ListenerSpec]:
+    """Look up the listener family implementing ``interface``."""
+    return _BY_INTERFACE.get(interface)
+
+
+def listener_interfaces() -> List[str]:
+    """Names of all modelled listener interfaces."""
+    return [spec.interface for spec in LISTENER_SPECS]

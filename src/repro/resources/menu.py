@@ -1,0 +1,67 @@
+"""Menu resources: ``res/menu/*.xml`` definitions.
+
+An options menu is a flat list of items (``<group>`` elements are
+transparent), each with an optional ``R.id`` entry, a title, and an
+optional declarative ``android:onClick`` handler — the menu counterpart
+of layout definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.resources.xml_parser import LayoutXmlError, _attr, _parse_id, parse_android_xml
+
+
+@dataclass(frozen=True)
+class MenuItemDef:
+    """One ``<item>`` of a menu definition."""
+
+    id_name: Optional[str]
+    title: Optional[str] = None
+    on_click: Optional[str] = None
+
+
+@dataclass
+class MenuDef:
+    """A named menu definition (one XML file)."""
+
+    name: str
+    items: List[MenuItemDef] = field(default_factory=list)
+
+    def id_names(self) -> List[str]:
+        return [item.id_name for item in self.items if item.id_name is not None]
+
+
+def parse_menu_xml(name: str, text: str) -> MenuDef:
+    """Parse one menu file. ``<group>`` children are flattened."""
+    try:
+        root = parse_android_xml(text)
+    except Exception as exc:  # ET.ParseError
+        raise LayoutXmlError(f"{name}: XML parse error: {exc}") from exc
+    if root.tag != "menu":
+        raise LayoutXmlError(f"{name}: menu file must have a <menu> root")
+    menu = MenuDef(name=name)
+
+    def walk(elem) -> None:
+        for child in elem:
+            if child.tag == "group":
+                walk(child)
+            elif child.tag == "item":
+                menu.items.append(
+                    MenuItemDef(
+                        id_name=_parse_id(_attr(child, "id"), name),
+                        title=_attr(child, "title"),
+                        on_click=_attr(child, "onClick"),
+                    )
+                )
+                # <item> may nest a sub-<menu>.
+                walk(child)
+            elif child.tag == "menu":
+                walk(child)
+            else:
+                raise LayoutXmlError(f"{name}: unexpected element <{child.tag}>")
+
+    walk(root)
+    return menu

@@ -1,0 +1,83 @@
+"""Serialisation of resource models back to XML.
+
+Inverse of the parsers: layout trees and menu definitions render to the
+Android-XML dialect this package reads, enabling on-disk round trips of
+whole applications (see ``repro.corpus.export``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+from xml.sax.saxutils import quoteattr
+
+from repro.resources.layout import LayoutNode, LayoutTree
+from repro.resources.menu import MenuDef
+
+_SHORTENABLE_PACKAGES = ("android.widget.", "android.webkit.")
+
+
+def _tag_for(view_class: str) -> str:
+    if view_class in ("android.view.View", "android.view.ViewGroup",
+                      "android.view.SurfaceView"):
+        return view_class.rsplit(".", 1)[-1]
+    for pkg in _SHORTENABLE_PACKAGES:
+        if view_class.startswith(pkg) and view_class.count(".") == 2:
+            return view_class.rsplit(".", 1)[-1]
+    return view_class
+
+
+def _node_to_lines(node: LayoutNode, depth: int, lines: List[str]) -> None:
+    indent = "  " * depth
+    attrs = ""
+    if node.id_name is not None:
+        attrs += f' android:id="@+id/{node.id_name}"'
+    if node.on_click is not None:
+        attrs += f' android:onClick="{node.on_click}"'
+    tag = _tag_for(node.view_class)
+    if node.children:
+        lines.append(f"{indent}<{tag}{attrs}>")
+        for child in node.children:
+            _node_to_lines(child, depth + 1, lines)
+        lines.append(f"{indent}</{tag}>")
+    else:
+        lines.append(f"{indent}<{tag}{attrs}/>")
+
+
+def layout_to_xml(tree: LayoutTree) -> str:
+    """Render a layout tree as layout XML (includes already expanded)."""
+    lines: List[str] = []
+    _node_to_lines(tree.root, 0, lines)
+    return "\n".join(lines) + "\n"
+
+
+def menu_to_xml(menu: MenuDef) -> str:
+    """Render a menu definition as menu XML."""
+    lines = ["<menu>"]
+    for item in menu.items:
+        attrs = ""
+        if item.id_name is not None:
+            attrs += f' android:id="@+id/{item.id_name}"'
+        if item.title is not None:
+            attrs += f" android:title={quoteattr(item.title)}"
+        if item.on_click is not None:
+            attrs += f' android:onClick="{item.on_click}"'
+        lines.append(f"  <item{attrs}/>")
+    lines.append("</menu>")
+    return "\n".join(lines) + "\n"
+
+
+def manifest_to_xml(manifest) -> str:
+    """Render a manifest model as AndroidManifest XML."""
+    lines = [f'<manifest package="{manifest.package}">', "  <application>"]
+    for activity in manifest.activities:
+        if activity == manifest.launcher:
+            lines.append(f'    <activity android:name="{activity}">')
+            lines.append("      <intent-filter>")
+            lines.append('        <action android:name="android.intent.action.MAIN"/>')
+            lines.append("      </intent-filter>")
+            lines.append("    </activity>")
+        else:
+            lines.append(f'    <activity android:name="{activity}"/>')
+    lines.append("  </application>")
+    lines.append("</manifest>")
+    return "\n".join(lines) + "\n"

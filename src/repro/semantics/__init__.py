@@ -1,0 +1,48 @@
+"""Concrete semantics of ALite: an executable version of Section 3.
+
+The paper defines operational rules (``INFLATE1/2``, ``ADDVIEW1/2``,
+``SETID``, ``SETLISTENER``, ``FINDVIEW1/2/3``) over environments and
+heaps with artificial fields ``vid``, ``children``, ``listeners``, and
+``root``. This package implements those rules concretely:
+
+* :mod:`repro.semantics.values` — runtime objects, the heap, and
+  creation tags that map run-time objects back to the static
+  abstractions (allocation sites / inflation nodes / activities);
+* :mod:`repro.semantics.interpreter` — a direct interpreter for ALite
+  method bodies plus the platform operations;
+* :mod:`repro.semantics.driver` — the Android-lifecycle driver:
+  instantiates activities, invokes their callbacks, and dispatches GUI
+  events to registered listeners (the concrete counterpart of the
+  paper's implicit ``t := new a; t.m()`` / ``y.n(x)`` modelling);
+* :mod:`repro.semantics.trace` — the dynamic-fact trace and the
+  soundness comparison against a static :class:`AnalysisResult`.
+
+Together they form the oracle used by the property-based soundness
+tests and the precision case study: the static solution must contain
+every dynamically observed fact.
+"""
+
+from repro.semantics.values import ActivityTag, AllocTag, InflTag, Obj, Heap
+from repro.semantics.interpreter import (
+    Interpreter,
+    InterpreterLimits,
+    StepBudgetExceeded,
+)
+from repro.semantics.driver import DriverResult, run_app
+from repro.semantics.trace import OpEvent, Trace, check_soundness
+
+__all__ = [
+    "ActivityTag",
+    "AllocTag",
+    "DriverResult",
+    "Heap",
+    "InflTag",
+    "Interpreter",
+    "InterpreterLimits",
+    "Obj",
+    "OpEvent",
+    "StepBudgetExceeded",
+    "Trace",
+    "check_soundness",
+    "run_app",
+]

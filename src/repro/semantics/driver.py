@@ -1,0 +1,180 @@
+"""The Android-lifecycle driver: the concrete counterpart of the
+platform behaviour the static analysis models implicitly.
+
+Execution order mirrors how the platform drives an app:
+
+1. static initialisation — every static no-argument application method
+   runs once (registries, caches);
+2. activity lifecycle — each activity class is instantiated (the
+   implicit ``t := new a``) and its no-argument framework callbacks run
+   (``onCreate`` first, then the remaining lifecycle callbacks in
+   lifecycle order);
+3. event dispatch — for every view reachable from an activity's root
+   hierarchy, every registered listener's handler is invoked with the
+   view as the event parameter (the ``y.n(x)`` rule), and
+   ``android:onClick`` XML handlers are invoked on the activity;
+   dispatch repeats for ``event_rounds`` rounds since handlers may
+   register new views and listeners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.app import AndroidApp
+from repro.platform.api import is_framework_callback
+from repro.platform.events import spec_for_interface
+from repro.semantics.interpreter import Interpreter, InterpreterLimits, StepBudgetExceeded
+from repro.semantics.trace import Trace
+from repro.semantics.values import ActivityTag, FrameworkTag, Heap, Obj
+
+# Preferred ordering for lifecycle callbacks.
+_LIFECYCLE_ORDER = ["onCreate", "onStart", "onResume"]
+
+
+@dataclass
+class DriverResult:
+    """Everything observed while driving the app."""
+
+    heap: Heap
+    trace: Trace
+    activities: List[Obj] = field(default_factory=list)
+    fired_events: List[Tuple[str, str, str]] = field(default_factory=list)
+    budget_exhausted: bool = False
+
+
+def _lifecycle_methods(interp: Interpreter, class_name: str) -> List:
+    """No-argument framework callbacks of an activity class, ordered."""
+    found = {}
+    for cname in interp.hierarchy.superclass_chain(class_name):
+        clazz = interp.program.clazz(cname)
+        if clazz is None or clazz.is_platform:
+            break
+        for method in clazz.methods.values():
+            if method.is_static or method.param_names:
+                continue
+            if not is_framework_callback(method.name):
+                continue
+            found.setdefault(method.name, method)
+    ordered = [found[n] for n in _LIFECYCLE_ORDER if n in found]
+    rest = [m for n, m in sorted(found.items()) if n not in _LIFECYCLE_ORDER]
+    return ordered + rest
+
+
+def _dispatch_events(
+    interp: Interpreter, activity: Obj, result: DriverResult, fired: Set[Tuple[int, str, int]]
+) -> None:
+    if activity.root is None:
+        return
+    for view in list(activity.root.descendants()):
+        for event_name, listeners in list(view.listeners.items()):
+            for listener in list(listeners):
+                key = (view.oid, event_name, listener.oid)
+                if key in fired:
+                    continue
+                fired.add(key)
+                interfaces = interp.hierarchy.listener_interfaces_of(listener.class_name)
+                for interface in interfaces:
+                    spec = spec_for_interface(interface)
+                    if spec is None or spec.event.value != event_name:
+                        continue
+                    handler = interp.hierarchy.lookup(
+                        listener.class_name, spec.handler, spec.handler_arity
+                    )
+                    if handler is None or not interp._is_application(handler):
+                        continue
+                    args: List[object] = [None] * spec.handler_arity
+                    if spec.view_param_index is not None:
+                        args[spec.view_param_index] = view
+                    if spec.item_param_index is not None and view.children:
+                        args[spec.item_param_index] = view.children[0]
+                    interp.call(handler, listener, args)
+                    result.trace.handler_invocations.append(str(handler.sig))
+                    result.fired_events.append(
+                        (activity.class_name, str(view), event_name)
+                    )
+        xml_handler = view.fields.get("__xml_onclick")
+        if isinstance(xml_handler, str):
+            key = (view.oid, f"xml:{xml_handler}", activity.oid)
+            if key not in fired:
+                fired.add(key)
+                handler = interp.hierarchy.lookup(activity.class_name, xml_handler, 1)
+                if handler is not None and interp._is_application(handler):
+                    interp.call(handler, activity, [view])
+                    result.trace.handler_invocations.append(str(handler.sig))
+                    result.fired_events.append(
+                        (activity.class_name, str(view), "click")
+                    )
+
+
+def _dispatch_menu(interp: Interpreter, activity: Obj, result: DriverResult) -> None:
+    """Create the options menu and select every item once (extension)."""
+    create = interp.hierarchy.lookup(activity.class_name, "onCreateOptionsMenu", 1)
+    if create is None or not interp._is_application(create):
+        return
+    menu_obj = interp.heap.allocate("android.view.Menu", FrameworkTag("options-menu"))
+    menu_obj.fields["__items"] = []
+    interp.call(create, activity, [menu_obj])
+    selected = interp.hierarchy.lookup(
+        activity.class_name, "onOptionsItemSelected", 1
+    )
+    for item in list(menu_obj.fields.get("__items", ())):
+        if selected is not None and interp._is_application(selected):
+            interp.call(selected, activity, [item])
+            result.trace.handler_invocations.append(str(selected.sig))
+            result.fired_events.append(
+                (activity.class_name, str(item), "menu_select")
+            )
+        xml_handler = item.fields.get("__xml_onclick")
+        if isinstance(xml_handler, str):
+            handler = interp.hierarchy.lookup(activity.class_name, xml_handler, 1)
+            if handler is not None and interp._is_application(handler):
+                interp.call(handler, activity, [item])
+                result.trace.handler_invocations.append(str(handler.sig))
+                result.fired_events.append(
+                    (activity.class_name, str(item), "menu_select")
+                )
+
+
+def run_app(
+    app: AndroidApp,
+    limits: Optional[InterpreterLimits] = None,
+    seed: int = 0,
+    event_rounds: int = 2,
+    activities: Optional[List[str]] = None,
+) -> DriverResult:
+    """Drive ``app`` through static init, lifecycles, and events."""
+    heap = Heap()
+    trace = Trace()
+    interp = Interpreter(app, heap=heap, trace=trace, limits=limits, seed=seed)
+    result = DriverResult(heap=heap, trace=trace)
+
+    try:
+        # 1. Static initialisation.
+        for clazz in sorted(app.program.application_classes(), key=lambda c: c.name):
+            for method in sorted(clazz.methods.values(), key=lambda m: m.name):
+                if method.is_static and not method.param_names:
+                    interp.call(method, None, [])
+
+        # 2. Activity lifecycles.
+        to_run = activities if activities is not None else app.activity_classes()
+        for class_name in to_run:
+            activity = heap.allocate(class_name, ActivityTag(class_name))
+            result.activities.append(activity)
+            for method in _lifecycle_methods(interp, class_name):
+                interp.call(method, activity, [])
+
+        # 3. Options menus: the framework creates the Menu, calls
+        #    onCreateOptionsMenu, then the user can select each item.
+        for activity in result.activities:
+            _dispatch_menu(interp, activity, result)
+
+        # 4. Event dispatch.
+        fired: Set[Tuple[int, str, int]] = set()
+        for _round in range(event_rounds):
+            for activity in result.activities:
+                _dispatch_events(interp, activity, result, fired)
+    except StepBudgetExceeded:
+        result.budget_exhausted = True
+    return result

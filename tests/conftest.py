@@ -1,0 +1,56 @@
+"""Shared fixtures: the running example and small hand-built apps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import analyze
+from repro.app import AndroidApp
+from repro.corpus.connectbot import build_connectbot_example
+from repro.ir.builder import ProgramBuilder
+from repro.resources.layout import LayoutNode, LayoutTree
+from repro.resources.manifest import Manifest
+from repro.resources.rtable import ResourceTable
+
+
+@pytest.fixture(scope="session")
+def connectbot_app():
+    return build_connectbot_example()
+
+
+@pytest.fixture(scope="session")
+def connectbot_result(connectbot_app):
+    return analyze(connectbot_app)
+
+
+def make_single_activity_app(
+    name="tiny",
+    activity="app.MainActivity",
+    layout=None,
+    build_on_create=None,
+):
+    """Helper for tests: one activity, one layout, custom onCreate body.
+
+    ``build_on_create(m)`` receives the MethodBuilder for onCreate.
+    ``layout`` is a LayoutTree; defaults to a LinearLayout with a Button.
+    """
+    if layout is None:
+        root = LayoutNode("android.widget.LinearLayout", id_name="root")
+        root.add_child(LayoutNode("android.widget.Button", id_name="button_a"))
+        layout = LayoutTree("main", root)
+
+    pb = ProgramBuilder()
+    with pb.clazz(activity, extends="android.app.Activity") as c:
+        with c.method("onCreate") as m:
+            lid = m.layout_id(layout.name, line=1)
+            m.invoke(m.this, "setContentView", [lid], line=1)
+            if build_on_create is not None:
+                build_on_create(m)
+            m.ret()
+
+    resources = ResourceTable()
+    resources.add_layout(layout)
+    resources.freeze_ids()
+    manifest = Manifest(package="app")
+    manifest.add_activity(activity, launcher=True)
+    return AndroidApp(name=name, program=pb.build(), resources=resources, manifest=manifest)

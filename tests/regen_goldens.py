@@ -1,0 +1,28 @@
+"""Regenerate the golden files (run deliberately after intended changes)."""
+
+import os
+
+from repro import analyze
+from repro.bench.figures import run_figure4
+from repro.corpus.connectbot import build_connectbot_example
+from repro.ir.printer import print_program
+
+HERE = os.path.dirname(__file__)
+
+
+def main() -> None:
+    app = build_connectbot_example()
+    result = analyze(app)
+    goldens = {
+        "connectbot_ir.txt": print_program(app.program),
+        "figure4.txt": run_figure4(result),
+        "hierarchy.txt": result.hierarchy_dump("connectbot.ConsoleActivity"),
+    }
+    for name, text in goldens.items():
+        with open(os.path.join(HERE, "goldens", name), "w", encoding="utf-8") as f:
+            f.write(text)
+        print("wrote", name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Tests for the adapter extension (AdapterView.setAdapter + getView)."""
+
+import pytest
+
+from repro import analyze
+from repro.frontend import load_app_from_sources
+from repro.platform.api import OpKind
+from repro.semantics import check_soundness, run_app
+
+SOURCE = """
+package app;
+
+import android.app.Activity;
+import android.view.LayoutInflater;
+import android.view.View;
+import android.widget.BaseAdapter;
+import android.widget.ListView;
+
+class Main extends Activity {
+    void onCreate() {
+        this.setContentView(R.layout.main);
+        View l = this.findViewById(R.id.items);
+        ListView list = (ListView) l;
+        RowAdapter adapter = new RowAdapter();
+        list.setAdapter(adapter);
+    }
+}
+
+class RowAdapter extends BaseAdapter {
+    View getView() {
+        LayoutInflater infl = new LayoutInflater();
+        View row = infl.inflate(R.layout.row);
+        return row;
+    }
+}
+"""
+
+LAYOUTS = {
+    "main": '<LinearLayout><ListView android:id="@+id/items"/></LinearLayout>',
+    "row": ('<RelativeLayout><TextView android:id="@+id/row_text"/>'
+            '</RelativeLayout>'),
+}
+
+
+@pytest.fixture(scope="module")
+def adapter_app():
+    return load_app_from_sources("a", [SOURCE], LAYOUTS)
+
+
+@pytest.fixture(scope="module")
+def adapter_result(adapter_app):
+    return analyze(adapter_app)
+
+
+class TestStaticAdapter:
+    def test_op_classified(self, adapter_result):
+        assert len(adapter_result.ops_of_kind(OpKind.SET_ADAPTER)) == 1
+
+    def test_row_attached_under_listview(self, adapter_result):
+        views = adapter_result.activity_views("app.Main")
+        classes = sorted(v.view_class.rsplit(".", 1)[-1] for v in views)
+        assert classes == ["LinearLayout", "ListView", "RelativeLayout", "TextView"]
+
+    def test_adapter_flows_to_getview_this(self, adapter_result):
+        this_values = adapter_result.values_at_var("app.RowAdapter", "getView", 0, "this")
+        assert {getattr(v, "class_name", None) for v in this_values} == {
+            "app.RowAdapter"
+        }
+
+    def test_findview_reaches_row_content(self):
+        source = SOURCE.replace(
+            "list.setAdapter(adapter);",
+            "list.setAdapter(adapter);\n"
+            "        View t = this.findViewById(R.id.row_text);",
+        )
+        result = analyze(load_app_from_sources("a2", [source], LAYOUTS))
+        views = result.views_at_var("app.Main", "onCreate", 0, "t")
+        assert {v.view_class for v in views} == {"android.widget.TextView"}
+
+
+class TestDynamicAdapter:
+    def test_interpreter_attaches_row(self, adapter_app):
+        run = run_app(adapter_app)
+        activity = run.activities[0]
+        listview = activity.root.find_view_by_id(
+            adapter_app.resources.view_id("items")
+        )
+        assert listview is not None
+        assert len(listview.children) == 1
+        assert listview.children[0].class_name == "android.widget.RelativeLayout"
+
+    def test_soundness(self, adapter_app, adapter_result):
+        run = run_app(adapter_app)
+        report = check_soundness(adapter_result, run.trace)
+        assert report.violations == []

@@ -1,0 +1,85 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+PROJECT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "examples", "projects", "notepad")
+)
+
+
+class TestAnalyze:
+    def test_basic(self, capsys):
+        assert main(["analyze", PROJECT]) == 0
+        out = capsys.readouterr().out
+        assert "app: notepad" in out
+        assert "NotesListActivity" in out
+        assert "options menu" in out
+
+    def test_json(self, capsys):
+        assert main(["analyze", PROJECT, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["app"] == "notepad"
+        assert data["gui_tuples"]
+
+    def test_tuples_and_transitions(self, capsys):
+        assert main(["analyze", PROJECT, "--tuples", "--transitions"]) == 0
+        out = capsys.readouterr().out
+        assert "GUI tuples:" in out
+        assert "-> com.example.notepad.EditNoteActivity" in out
+
+    def test_checks_clean_exit_zero(self, capsys):
+        assert main(["analyze", PROJECT, "--checks"]) == 0
+
+    def test_checks_buggy_exit_one(self, tmp_path, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "res" / "layout").mkdir(parents=True)
+        (tmp_path / "src" / "a.alite").write_text(
+            "package p; class A extends Activity {"
+            " void onCreate() {"
+            "   this.setContentView(R.layout.m);"
+            "   View x = this.findViewById(R.id.ghost);"
+            " } }"
+        )
+        (tmp_path / "res" / "layout" / "m.xml").write_text(
+            '<LinearLayout android:id="@+id/real"/>'
+        )
+        assert main(["analyze", str(tmp_path), "--checks"]) == 1
+        assert "unresolved-lookup" in capsys.readouterr().out
+
+    def test_dot_output(self, tmp_path, capsys):
+        dot_file = str(tmp_path / "graph.dot")
+        assert main(["analyze", PROJECT, "--dot", dot_file]) == 0
+        with open(dot_file) as f:
+            assert f.read().startswith("digraph constraint_graph")
+
+    def test_taint(self, capsys):
+        assert main(["analyze", PROJECT, "--taint"]) == 0
+        assert "EditText" in capsys.readouterr().out
+
+
+class TestRunAndDisasm:
+    def test_run(self, capsys):
+        assert main(["run", PROJECT]) == 0
+        out = capsys.readouterr().out
+        assert "soundness:" in out
+        assert "0 violations" in out
+
+    def test_disasm_stdout(self, capsys):
+        assert main(["disasm", PROJECT]) == 0
+        out = capsys.readouterr().out
+        assert ".class Lcom/example/notepad/NotesListActivity;" in out
+        assert "const-menu" in out
+
+    def test_disasm_file_roundtrips(self, tmp_path, capsys):
+        target = str(tmp_path / "app.smali")
+        assert main(["disasm", PROJECT, "-o", target]) == 0
+        from repro.dex import parse_dex_text
+
+        with open(target) as f:
+            program = parse_dex_text(f.read())
+        assert program.clazz("com.example.notepad.NotesListActivity") is not None

@@ -1,0 +1,160 @@
+"""Tests for the context-sensitivity refinement and the baseline."""
+
+import pytest
+
+from repro import analyze
+from repro.app import AndroidApp
+from repro.baseline import andersen_analyze
+from repro.core.context import clone_for_context_sensitivity
+from repro.core.metrics import compute_precision
+from repro.corpus.apps import spec_by_name
+from repro.corpus.generator import generate_app
+from repro.frontend import load_app_from_sources
+
+SHARED_HELPER_SOURCE = """
+package app;
+import android.app.Activity;
+import android.view.View;
+
+class A extends Activity {
+    void onCreate() {
+        this.setContentView(R.layout.a);
+        View x = this.findViewById(R.id.ax);
+        Util.tag(x);
+    }
+}
+class B extends Activity {
+    void onCreate() {
+        this.setContentView(R.layout.b);
+        View y = this.findViewById(R.id.by);
+        Util.tag(y);
+    }
+}
+class Util {
+    static void tag(View v) {
+        v.setId(R.id.tagged);
+    }
+}
+"""
+
+LAYOUTS = {
+    "a": '<LinearLayout><TextView android:id="@+id/ax"/></LinearLayout>',
+    "b": '<LinearLayout><TextView android:id="@+id/by"/></LinearLayout>',
+}
+
+
+class TestCloning:
+    def _app(self):
+        return load_app_from_sources("t", [SHARED_HELPER_SOURCE], LAYOUTS)
+
+    def test_insensitive_merges_receivers(self):
+        result = analyze(self._app())
+        setid = result.ops_of_kind(
+            __import__("repro.platform.api", fromlist=["OpKind"]).OpKind.SETID
+        )[0]
+        assert len(result.op_view_receivers(setid)) == 2
+
+    def test_cloning_splits_receivers(self):
+        info = clone_for_context_sensitivity(self._app())
+        assert len(info.cloned_methods) == 2
+        result = analyze(info.app)
+        from repro.platform.api import OpKind
+
+        populated = [
+            op for op in result.ops_of_kind(OpKind.SETID)
+            if result.op_view_receivers(op)
+        ]
+        assert len(populated) == 2
+        for op in populated:
+            assert len(result.op_view_receivers(op)) == 1
+
+    def test_original_app_untouched(self):
+        app = self._app()
+        before = len(app.program.clazz("app.Util").methods)
+        clone_for_context_sensitivity(app)
+        assert len(app.program.clazz("app.Util").methods) == before
+
+    def test_clone_origin_mapping(self):
+        info = clone_for_context_sensitivity(self._app())
+        origins = set(info.origin.values())
+        assert {str(o) for o in origins} == {"app.Util.tag/1"}
+
+    def test_single_caller_not_cloned(self):
+        source = SHARED_HELPER_SOURCE.replace(
+            """class B extends Activity {
+    void onCreate() {
+        this.setContentView(R.layout.b);
+        View y = this.findViewById(R.id.by);
+        Util.tag(y);
+    }
+}""",
+            "class B { }",
+        )
+        app = load_app_from_sources("t", [source], LAYOUTS)
+        info = clone_for_context_sensitivity(app)
+        assert info.cloned_methods == []
+
+    def test_xbmc_receivers_drop(self):
+        app = generate_app(spec_by_name("XBMC"))
+        base = compute_precision(analyze(app)).receivers
+        refined = compute_precision(
+            analyze(clone_for_context_sensitivity(app).app)
+        ).receivers
+        assert base == pytest.approx(8.81, abs=0.25)
+        assert refined == pytest.approx(3.59, abs=0.5)
+
+    def test_precise_app_unchanged(self):
+        app = generate_app(spec_by_name("APV"))
+        base = compute_precision(analyze(app)).receivers
+        refined = compute_precision(
+            analyze(clone_for_context_sensitivity(app).app)
+        ).receivers
+        assert base == refined == pytest.approx(1.0)
+
+
+class TestBaseline:
+    def test_findview_unresolved(self, connectbot_app):
+        result = andersen_analyze(connectbot_app)
+        assert result.findview_sites
+        assert all(not result.is_resolved(s) for s in result.findview_sites)
+
+    def test_plain_java_flow_still_works(self):
+        source = """
+        package app;
+        class A {
+            Object f;
+            Object mk() {
+                A a = new A();
+                this.f = a;
+                Object x = this.f;
+                return x;
+            }
+        }
+        """
+        app = load_app_from_sources("t", [source])
+        result = andersen_analyze(app)
+        values = result.values_at_var("app.A", "mk", 0, "x")
+        assert len(values) == 1
+        assert next(iter(values)).class_name == "app.A"
+
+    def test_activities_modelled(self):
+        source = """
+        package app;
+        import android.app.Activity;
+        class Main extends Activity {
+            void onCreate() { }
+        }
+        """
+        app = load_app_from_sources("t", [source])
+        result = andersen_analyze(app)
+        this_values = result.values_at_var("app.Main", "onCreate", 0, "this")
+        assert {getattr(v, "class_name", None) for v in this_values} == {"app.Main"}
+
+    def test_opaque_values_propagate(self, connectbot_app):
+        result = andersen_analyze(connectbot_app)
+        from repro.baseline import OpaqueValue
+
+        e_values = result.values_at_var(
+            "connectbot.ConsoleActivity", "onCreate", 0, "e"
+        )
+        assert any(isinstance(v, OpaqueValue) for v in e_values)

@@ -1,0 +1,115 @@
+"""Unit tests for the constraint graph data structure."""
+
+import pytest
+
+from repro.core.graph import ConstraintGraph, RelKind
+from repro.core.nodes import Site
+from repro.ir.program import MethodSig
+from repro.platform.api import OpKind, OpSpec
+
+SIG = MethodSig("app.C", "m", 0)
+
+
+@pytest.fixture()
+def graph():
+    return ConstraintGraph()
+
+
+class TestInterning:
+    def test_var_interned(self, graph):
+        assert graph.var(SIG, "x") is graph.var(SIG, "x")
+        assert graph.var(SIG, "x") is not graph.var(SIG, "y")
+
+    def test_field_interned(self, graph):
+        assert graph.field("app.C", "f") is graph.field("app.C", "f")
+
+    def test_alloc_categories(self, graph):
+        site = Site(SIG, 0, 10)
+        a = graph.alloc(site, "android.widget.Button", is_view=True)
+        assert a in graph.view_allocs
+        assert a not in graph.listener_allocs
+
+    def test_activity_interned(self, graph):
+        assert graph.activity("app.A") is graph.activity("app.A")
+
+    def test_ids_interned(self, graph):
+        assert graph.layout_id("main", 1) is graph.layout_id("main", 1)
+        assert graph.view_id("ok", 2) is graph.view_id("ok", 2)
+
+    def test_op_interned_by_site(self, graph):
+        site = Site(SIG, 3, 12)
+        spec = OpSpec(OpKind.SETID, arg_index=0)
+        op = graph.op(OpKind.SETID, site, spec)
+        assert graph.op(OpKind.SETID, site, spec) is op
+        assert graph.op_spec(op) is spec
+
+    def test_infl_view_interned_by_site_layout_path(self, graph):
+        site = Site(SIG, 1, 9)
+        a = graph.infl_view(site, "main", (), "android.view.View", None)
+        b = graph.infl_view(site, "main", (), "android.view.View", None)
+        c = graph.infl_view(site, "main", (0,), "android.view.View", None)
+        assert a is b and a is not c
+
+
+class TestFlowEdges:
+    def test_add_flow_dedup(self, graph):
+        x, y = graph.var(SIG, "x"), graph.var(SIG, "y")
+        assert graph.add_flow(x, y)
+        assert not graph.add_flow(x, y)
+        assert graph.flow_edge_count() == 1
+
+    def test_flow_filter_stored(self, graph):
+        x, y = graph.var(SIG, "x"), graph.var(SIG, "y")
+        graph.add_flow(x, y, type_filter="android.view.View")
+        assert graph.flow_filter(x, y) == "android.view.View"
+        assert graph.flow_filter(y, x) is None
+
+    def test_succ_pred_consistency(self, graph):
+        x, y = graph.var(SIG, "x"), graph.var(SIG, "y")
+        graph.add_flow(x, y)
+        assert y in graph.flow_succ[x]
+        assert x in graph.flow_pred[y]
+
+
+class TestRelEdges:
+    def test_add_rel_dedup(self, graph):
+        v1 = graph.activity("app.A")
+        v2 = graph.var(SIG, "x")
+        assert graph.add_rel(RelKind.ROOT, v1, v2)
+        assert not graph.add_rel(RelKind.ROOT, v1, v2)
+        assert graph.rel_edge_count(RelKind.ROOT) == 1
+
+    def test_forward_backward(self, graph):
+        site = Site(SIG, 0, 1)
+        p = graph.infl_view(site, "m", (), "android.view.ViewGroup", None)
+        c = graph.infl_view(site, "m", (0,), "android.view.View", None)
+        graph.add_rel(RelKind.CHILD, p, c)
+        assert graph.children_of(p) == {c}
+        assert graph.parents_of(c) == {p}
+
+    def test_descendants_reflexive_transitive(self, graph):
+        site = Site(SIG, 0, 1)
+        a = graph.infl_view(site, "m", (), "android.view.ViewGroup", None)
+        b = graph.infl_view(site, "m", (0,), "android.view.ViewGroup", None)
+        c = graph.infl_view(site, "m", (0, 0), "android.view.View", None)
+        graph.add_rel(RelKind.CHILD, a, b)
+        graph.add_rel(RelKind.CHILD, b, c)
+        assert graph.descendants_of(a) == {a, b, c}
+        assert graph.descendants_of(a, include_self=False) == {b, c}
+        assert graph.ancestor_of(a, c)
+        assert not graph.ancestor_of(c, a)
+
+    def test_descendants_tolerates_cycles(self, graph):
+        site = Site(SIG, 0, 1)
+        a = graph.infl_view(site, "m", (), "android.view.ViewGroup", None)
+        b = graph.infl_view(site, "m", (0,), "android.view.ViewGroup", None)
+        graph.add_rel(RelKind.CHILD, a, b)
+        graph.add_rel(RelKind.CHILD, b, a)
+        assert graph.descendants_of(a) == {a, b}
+
+    def test_summary_counts(self, graph):
+        x, y = graph.var(SIG, "x"), graph.var(SIG, "y")
+        graph.add_flow(x, y)
+        summary = graph.summary()
+        assert summary["flow_edges"] == 1
+        assert summary["nodes"] >= 2

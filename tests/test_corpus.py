@@ -1,0 +1,122 @@
+"""Tests for the corpus generator: exactness, determinism, planning."""
+
+import pytest
+
+from repro import analyze
+from repro.core.metrics import compute_graph_stats, compute_precision
+from repro.corpus.apps import APP_SPECS, spec_by_name
+from repro.corpus.generator import generate_app, plan_multiplicities
+from repro.corpus.spec import AppSpec
+from repro.dex import assemble_program
+
+# Small apps analyzed in full in unit tests; the complete corpus runs
+# in the benchmark suite.
+SMALL_APPS = ["APV", "NotePad", "OpenManager", "SuperGenPass", "TippyTipper", "VuDroid"]
+
+
+class TestPlanMultiplicities:
+    def test_empty(self):
+        assert plan_multiplicities(0, 2.0) == []
+
+    def test_unit_target(self):
+        assert plan_multiplicities(5, 1.0) == [1, 1, 1, 1, 1]
+
+    def test_mean_approximates_target(self):
+        plan = plan_multiplicities(10, 1.7)
+        assert sum(plan) == round(10 * 1.7)
+        assert all(x >= 1 for x in plan)
+
+    def test_cap_respected(self):
+        plan = plan_multiplicities(2, 50.0, cap=9)
+        assert all(x <= 9 for x in plan)
+
+    @pytest.mark.parametrize("count,target", [(1, 1.0), (7, 2.3), (20, 1.05)])
+    def test_always_at_least_one(self, count, target):
+        assert all(x >= 1 for x in plan_multiplicities(count, target))
+
+
+class TestSpecValidation:
+    def test_all_specs_valid(self):
+        assert len(APP_SPECS) == 20
+        assert len({s.name for s in APP_SPECS}) == 20
+
+    def test_spec_by_name(self):
+        assert spec_by_name("XBMC").recv_avg == 8.81
+        with pytest.raises(KeyError):
+            spec_by_name("NotAnApp")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError, match="at least one inflate"):
+            AppSpec("x", classes=5, methods=20, layout_ids=1, view_ids=1,
+                    views_inflated=1, views_allocated=0, listeners=1,
+                    ops_inflate=0, ops_findview=1, ops_addview=0,
+                    ops_setid=0, ops_setlistener=1)
+        with pytest.raises(ValueError, match="views_inflated"):
+            AppSpec("x", classes=5, methods=20, layout_ids=1, view_ids=1,
+                    views_inflated=1, views_allocated=0, listeners=1,
+                    ops_inflate=2, ops_findview=1, ops_addview=0,
+                    ops_setid=0, ops_setlistener=1)
+        with pytest.raises(ValueError, match="context-sensitive"):
+            AppSpec("x", classes=5, methods=20, layout_ids=1, view_ids=1,
+                    views_inflated=2, views_allocated=0, listeners=1,
+                    ops_inflate=2, ops_findview=1, ops_addview=0,
+                    ops_setid=0, ops_setlistener=1,
+                    recv_avg=1.5, recv_avg_ctx=2.0)
+
+
+class TestGeneratedApps:
+    @pytest.mark.parametrize("app_name", SMALL_APPS)
+    def test_structural_counts_exact(self, app_name):
+        spec = spec_by_name(app_name)
+        stats = compute_graph_stats(analyze(generate_app(spec)))
+        assert stats.classes == spec.classes
+        assert stats.methods == spec.methods
+        assert stats.layout_ids == spec.layout_ids
+        assert stats.view_ids == spec.view_ids
+        assert stats.views_inflated == spec.views_inflated
+        assert stats.views_allocated == spec.views_allocated
+        assert stats.listeners == spec.listeners
+        assert stats.ops_inflate == spec.ops_inflate
+        assert stats.ops_findview == spec.ops_findview
+        assert stats.ops_addview == spec.ops_addview
+        assert stats.ops_setid == spec.ops_setid
+        assert stats.ops_setlistener == spec.ops_setlistener
+
+    @pytest.mark.parametrize("app_name", SMALL_APPS)
+    def test_precision_near_targets(self, app_name):
+        spec = spec_by_name(app_name)
+        metrics = compute_precision(analyze(generate_app(spec)))
+        assert metrics.receivers == pytest.approx(spec.recv_avg, abs=0.25)
+        if spec.ops_addview == 0:
+            assert metrics.parameters is None
+        else:
+            assert metrics.parameters == pytest.approx(spec.param_avg, abs=0.25)
+        assert metrics.results == pytest.approx(spec.result_avg, abs=0.25)
+        assert metrics.listeners == pytest.approx(spec.listener_avg, abs=0.25)
+
+    def test_generation_is_deterministic(self):
+        spec = spec_by_name("APV")
+        text1 = assemble_program(generate_app(spec).program)
+        text2 = assemble_program(generate_app(spec).program)
+        assert text1 == text2
+
+    def test_generated_app_validates(self):
+        app = generate_app(spec_by_name("TippyTipper"))
+        assert app.validate(strict=False) == []
+
+    def test_manifest_declares_all_activities(self):
+        app = generate_app(spec_by_name("NotePad"))
+        assert set(app.manifest.activities) == set(app.activity_classes())
+        assert app.manifest.main_activity() in app.manifest.activities
+
+    def test_dead_layouts_exist_when_fewer_inflates_than_layouts(self):
+        # Astrid has 95 layouts but only 30 inflation sites.
+        spec = spec_by_name("Astrid")
+        app = generate_app(spec)
+        assert app.resources.layout_count() == 95
+
+    def test_xbmc_shared_helper_exists(self):
+        app = generate_app(spec_by_name("XBMC"))
+        shared = app.program.clazz("gen.xbmc.Shared")
+        assert shared is not None
+        assert shared.method("work", 2) or shared.method("work", 1)

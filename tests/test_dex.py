@@ -1,0 +1,212 @@
+"""Unit and round-trip tests for the Dalvik-text frontend."""
+
+import pytest
+
+from repro import analyze
+from repro.app import AndroidApp
+from repro.core.metrics import compute_graph_stats, compute_precision
+from repro.corpus.connectbot import build_connectbot_example
+from repro.dex import (
+    DexSyntaxError,
+    assemble_program,
+    descriptor_to_type,
+    parse_dex_text,
+    type_to_descriptor,
+)
+from repro.dex.descriptors import join_method_descriptor, split_method_descriptor
+from repro.ir.statements import Cast, ConstNull, Invoke, InvokeKind
+
+
+class TestDescriptors:
+    @pytest.mark.parametrize(
+        "type_name,descriptor",
+        [
+            ("int", "I"),
+            ("boolean", "Z"),
+            ("void", "V"),
+            ("java.lang.String", "Ljava/lang/String;"),
+            ("android.view.View$OnClickListener", "Landroid/view/View$OnClickListener;"),
+        ],
+    )
+    def test_roundtrip(self, type_name, descriptor):
+        assert type_to_descriptor(type_name) == descriptor
+        assert descriptor_to_type(descriptor) == type_name
+
+    def test_malformed_descriptor(self):
+        with pytest.raises(ValueError):
+            descriptor_to_type("Lunclosed")
+
+    def test_method_descriptor_split(self):
+        params, ret = split_method_descriptor("(ILandroid/view/View;Z)V")
+        assert params == ["int", "android.view.View", "boolean"]
+        assert ret == "void"
+
+    def test_method_descriptor_join(self):
+        assert join_method_descriptor(["int"], "android.view.View") == (
+            "(I)Landroid/view/View;"
+        )
+
+    def test_empty_params(self):
+        assert split_method_descriptor("()V") == ([], "void")
+
+
+class TestParser:
+    def test_minimal_class(self):
+        program = parse_dex_text(".class Lp/A;\n.super Ljava/lang/Object;\n.end class")
+        clazz = program.clazz("p.A")
+        assert clazz is not None and clazz.superclass == "java.lang.Object"
+
+    def test_interface(self):
+        program = parse_dex_text(".interface Lp/I;\n.end class")
+        assert program.clazz("p.I").is_interface
+
+    def test_fields(self):
+        program = parse_dex_text(
+            ".class Lp/A;\n.field f:I\n.field static g:Ljava/lang/String;\n.end class"
+        )
+        clazz = program.clazz("p.A")
+        assert clazz.fields["f"].type_name == "int"
+        assert clazz.fields["g"].is_static
+
+    def test_method_with_params_and_locals(self):
+        program = parse_dex_text(
+            ".class Lp/A;\n"
+            ".method m(ILjava/lang/Object;)V\n"
+            "    .param x, I\n"
+            "    .param y, Ljava/lang/Object;\n"
+            "    .local t, Ljava/lang/Object;\n"
+            "    move t, y\n"
+            "    return-void\n"
+            ".end method\n"
+            ".end class"
+        )
+        method = program.clazz("p.A").method("m", 2)
+        assert method.param_names == ["x", "y"]
+        assert method.locals["t"].type_name == "java.lang.Object"
+
+    def test_invoke_merges_move_result(self):
+        program = parse_dex_text(
+            ".class Lp/A;\n"
+            ".method m()V\n"
+            "    .local r, Ljava/lang/Object;\n"
+            "    invoke-virtual {this}, Lp/A;->g()Ljava/lang/Object;\n"
+            "    move-result-object r\n"
+            "    return-void\n"
+            ".end method\n"
+            ".method g()Ljava/lang/Object;\n"
+            "    .local x, Ljava/lang/Object;\n"
+            "    const/4 x, 0\n"
+            "    return-object x\n"
+            ".end method\n"
+            ".end class"
+        )
+        body = program.clazz("p.A").method("m", 0).body
+        call = next(s for s in body if isinstance(s, Invoke))
+        assert call.lhs == "r"
+
+    def test_invoke_without_result(self):
+        program = parse_dex_text(
+            ".class Lp/A;\n"
+            ".method m()V\n"
+            "    invoke-virtual {this}, Lp/A;->m()V\n"
+            "    return-void\n"
+            ".end method\n"
+            ".end class"
+        )
+        call = next(
+            s for s in program.clazz("p.A").method("m", 0).body
+            if isinstance(s, Invoke)
+        )
+        assert call.lhs is None
+
+    def test_move_checkcast_peephole(self):
+        program = parse_dex_text(
+            ".class Lp/A;\n"
+            ".method m()V\n"
+            "    .local a, Ljava/lang/Object;\n"
+            "    .local b, Ljava/lang/String;\n"
+            "    const/4 a, 0\n"
+            "    move b, a\n"
+            "    check-cast b, Ljava/lang/String;\n"
+            "    return-void\n"
+            ".end method\n"
+            ".end class"
+        )
+        body = program.clazz("p.A").method("m", 0).body
+        casts = [s for s in body if isinstance(s, Cast)]
+        assert casts and casts[0].rhs == "a" and casts[0].lhs == "b"
+
+    def test_const4_zero_is_null(self):
+        program = parse_dex_text(
+            ".class Lp/A;\n.method m()V\n    .local x, Ljava/lang/Object;\n"
+            "    const/4 x, 0\n    return-void\n.end method\n.end class"
+        )
+        body = program.clazz("p.A").method("m", 0).body
+        assert any(isinstance(s, ConstNull) for s in body)
+
+    def test_line_comments_recovered(self):
+        program = parse_dex_text(
+            ".class Lp/A;\n.method m()V\n    .local x, Ljava/lang/Object;\n"
+            "    const/4 x, 0  # line 42\n    return-void\n.end method\n.end class"
+        )
+        body = program.clazz("p.A").method("m", 0).body
+        assert body[0].line == 42
+
+    @pytest.mark.parametrize(
+        "text,message",
+        [
+            ("garbage", "unexpected top-level"),
+            (".class Lp/A;\n.method m()V\n", "missing .end method"),
+            (".class Lp/A;\n.method m()V\n    warp x\n.end method\n.end class",
+             "unknown opcode"),
+            (".class Lp/A;\n.method m()V\n    move-result-object r\n"
+             ".end method\n.end class", "move-result without invoke"),
+            (".class Lp/A;\n.method m()V\n"
+             "    invoke-virtual {this, a}, Lp/A;->m()V\n"
+             ".end method\n.end class", "argument count"),
+        ],
+    )
+    def test_errors(self, text, message):
+        with pytest.raises(DexSyntaxError, match=message):
+            parse_dex_text(text)
+
+
+class TestRoundTrip:
+    def test_connectbot_solution_preserved(self):
+        app = build_connectbot_example()
+        program2 = parse_dex_text(assemble_program(app.program))
+        app2 = AndroidApp("rt", program2, app.resources, app.manifest)
+        r1, r2 = analyze(app), analyze(app2)
+        assert compute_graph_stats(r1).as_row()[1:] == compute_graph_stats(r2).as_row()[1:]
+        assert compute_precision(r1).as_row()[2:] == compute_precision(r2).as_row()[2:]
+        v1 = {str(v) for v in r1.views_at_var(
+            "connectbot.EscapeButtonListener", "onClick", 1, "v")}
+        v2 = {str(v) for v in r2.views_at_var(
+            "connectbot.EscapeButtonListener", "onClick", 1, "v")}
+        assert v1 == v2 == {"TerminalView_21"}
+
+    def test_assembly_idempotent(self):
+        app = build_connectbot_example()
+        text1 = assemble_program(app.program)
+        text2 = assemble_program(parse_dex_text(text1))
+        text3 = assemble_program(parse_dex_text(text2))
+        assert text2 == text3
+
+    def test_frontend_to_dex_pipeline(self):
+        """Java subset -> IR -> Dalvik text -> IR -> analysis."""
+        from repro.frontend import load_app_from_sources
+
+        app = load_app_from_sources(
+            "t",
+            ["package p; class Main extends Activity {"
+             " void onCreate() {"
+             "   this.setContentView(R.layout.main);"
+             "   View b = this.findViewById(R.id.ok);"
+             " } }"],
+            {"main": '<LinearLayout><Button android:id="@+id/ok"/></LinearLayout>'},
+        )
+        program2 = parse_dex_text(assemble_program(app.program))
+        app2 = AndroidApp("t2", program2, app.resources, app.manifest)
+        result = analyze(app2)
+        views = result.views_at_var("p.Main", "onCreate", 0, "b")
+        assert {v.view_class for v in views} == {"android.widget.Button"}

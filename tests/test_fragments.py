@@ -1,0 +1,119 @@
+"""Tests for the fragment extension (beyond the paper's implementation).
+
+A fragment's ``onCreateView`` inflates a layout; attaching the
+fragment via ``FragmentTransaction.add(containerId, fragment)`` makes
+that hierarchy a child of the container view — statically (CHILD
+relationship edges + callback modelling) and dynamically (interpreter).
+"""
+
+import pytest
+
+from repro import analyze
+from repro.frontend import load_app_from_sources
+from repro.platform.api import OpKind
+from repro.semantics import check_soundness, run_app
+
+SOURCE = """
+package app;
+
+import android.app.Activity;
+import android.app.Fragment;
+import android.app.FragmentManager;
+import android.app.FragmentTransaction;
+import android.view.LayoutInflater;
+import android.view.View;
+
+class Host extends Activity {
+    void onCreate() {
+        this.setContentView(R.layout.host);
+        DetailsFragment f = new DetailsFragment();
+        FragmentManager fm = this.getFragmentManager();
+        FragmentTransaction tx = fm.beginTransaction();
+        tx.add(R.id.container, f);
+    }
+}
+
+class DetailsFragment extends Fragment {
+    View onCreateView() {
+        LayoutInflater infl = new LayoutInflater();
+        View root = infl.inflate(R.layout.details);
+        return root;
+    }
+}
+"""
+
+LAYOUTS = {
+    "host": '<LinearLayout><FrameLayout android:id="@+id/container"/></LinearLayout>',
+    "details": ('<LinearLayout android:id="@+id/details_root">'
+                '<TextView android:id="@+id/body"/></LinearLayout>'),
+}
+
+
+@pytest.fixture(scope="module")
+def fragment_app():
+    return load_app_from_sources("frag", [SOURCE], LAYOUTS)
+
+
+@pytest.fixture(scope="module")
+def fragment_result(fragment_app):
+    return analyze(fragment_app)
+
+
+class TestClassification:
+    def test_manager_ops_classified(self, fragment_result):
+        assert len(fragment_result.ops_of_kind(OpKind.FRAGMENT_MGR)) == 2
+        assert len(fragment_result.ops_of_kind(OpKind.FRAGMENT_TX)) == 1
+
+    def test_manager_aliases_activity(self, fragment_result):
+        tx_op = fragment_result.ops_of_kind(OpKind.FRAGMENT_TX)[0]
+        receivers = fragment_result.op_receivers(tx_op)
+        assert {getattr(v, "class_name", None) for v in receivers} == {"app.Host"}
+
+
+class TestStaticAttachment:
+    def test_fragment_view_attached_to_container(self, fragment_result):
+        views = fragment_result.activity_views("app.Host")
+        classes = sorted(v.view_class.rsplit(".", 1)[-1] for v in views)
+        # host LinearLayout + container FrameLayout + details LinearLayout
+        # + TextView.
+        assert classes == ["FrameLayout", "LinearLayout", "LinearLayout", "TextView"]
+
+    def test_findview_reaches_fragment_content(self, fragment_app):
+        # Extend the host to look up the fragment's TextView afterwards.
+        source = SOURCE.replace(
+            "tx.add(R.id.container, f);",
+            "tx.add(R.id.container, f);\n"
+            "        View body = this.findViewById(R.id.body);",
+        )
+        result = analyze(load_app_from_sources("frag2", [source], LAYOUTS))
+        views = result.views_at_var("app.Host", "onCreate", 0, "body")
+        assert {v.view_class for v in views} == {"android.widget.TextView"}
+
+    def test_fragment_flows_to_oncreateview_this(self, fragment_result):
+        this_values = fragment_result.values_at_var(
+            "app.DetailsFragment", "onCreateView", 0, "this"
+        )
+        assert {getattr(v, "class_name", None) for v in this_values} == {
+            "app.DetailsFragment"
+        }
+
+
+class TestDynamic:
+    def test_interpreter_attaches_fragment(self, fragment_app):
+        run = run_app(fragment_app)
+        host = run.activities[0]
+        assert host.root is not None
+        container = host.root.find_view_by_id(
+            fragment_app.resources.view_id("container")
+        )
+        assert container is not None
+        assert len(container.children) == 1
+        froot = container.children[0]
+        assert froot.class_name == "android.widget.LinearLayout"
+        assert froot.children[0].class_name == "android.widget.TextView"
+
+    def test_soundness_with_fragments(self, fragment_app, fragment_result):
+        run = run_app(fragment_app)
+        report = check_soundness(fragment_result, run.trace)
+        assert report.violations == []
+        assert report.checked > 0

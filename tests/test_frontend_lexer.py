@@ -1,0 +1,93 @@
+"""Unit tests for the Java-subset lexer."""
+
+import pytest
+
+from repro.frontend.errors import LexError
+from repro.frontend.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("class Foo extends bar") == [
+            ("keyword", "class"),
+            ("ident", "Foo"),
+            ("keyword", "extends"),
+            ("ident", "bar"),
+        ]
+
+    def test_dollar_in_identifier(self):
+        assert kinds("View$OnClickListener") == [("ident", "View$OnClickListener")]
+
+    def test_integers(self):
+        assert kinds("42 0 007") == [("int", "42"), ("int", "0"), ("int", "007")]
+
+    def test_hex_integers(self):
+        assert kinds("0x7f030000") == [("int", str(0x7F030000))]
+
+    def test_strings(self):
+        assert kinds('"hello world"') == [("string", "hello world")]
+
+    def test_string_escapes(self):
+        assert kinds(r'"a\nb\"c\\d"') == [("string", 'a\nb"c\\d')]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_string_with_newline_rejected(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"ab\ncd"')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(LexError, match="unknown escape"):
+            tokenize(r'"\q"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a @ b")
+
+
+class TestOperators:
+    def test_multi_char_operators_win(self):
+        assert kinds("a == b != c <= d >= e && f || g") == [
+            ("ident", "a"), ("op", "=="), ("ident", "b"), ("op", "!="),
+            ("ident", "c"), ("op", "<="), ("ident", "d"), ("op", ">="),
+            ("ident", "e"), ("op", "&&"), ("ident", "f"), ("op", "||"),
+            ("ident", "g"),
+        ]
+
+    def test_single_char_operators(self):
+        ops = [v for k, v in kinds("{ } ( ) ; , . = < > + - * / % !") if k == "op"]
+        assert len(ops) == 16
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError, match="unterminated block"):
+            tokenize("a /* x")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_positions_after_block_comment(self):
+        tokens = tokenize("/* a\nb */ x")
+        assert tokens[0].value == "x"
+        assert tokens[0].line == 2

@@ -1,0 +1,194 @@
+"""Unit tests for the Java-subset parser."""
+
+import pytest
+
+from repro.frontend.ast_nodes import (
+    AssignStmt,
+    BinaryExpr,
+    Call,
+    CastExpr,
+    ExprStmt,
+    FieldAccess,
+    IfStmt,
+    IntLit,
+    LocalDecl,
+    Name,
+    NewExpr,
+    ReturnStmt,
+    ThisExpr,
+    UnaryExpr,
+    WhileStmt,
+)
+from repro.frontend.errors import ParseError
+from repro.frontend.parser import parse_compilation_unit
+
+
+def parse_method_body(body_source: str):
+    unit = parse_compilation_unit(
+        f"class C {{ void m() {{ {body_source} }} }}"
+    )
+    return unit.classes[0].methods[0].body
+
+
+def parse_expr(expr_source: str):
+    body = parse_method_body(f"x = {expr_source};")
+    assert isinstance(body[0], AssignStmt)
+    return body[0].value
+
+
+class TestUnitStructure:
+    def test_package_and_imports(self):
+        unit = parse_compilation_unit(
+            "package a.b; import c.d.E; import f.G; class H { }"
+        )
+        assert unit.package == "a.b"
+        assert unit.imports == ["c.d.E", "f.G"]
+        assert unit.classes[0].name == "H"
+
+    def test_extends_implements(self):
+        unit = parse_compilation_unit(
+            "class A extends b.Base implements x.I, y.J { }"
+        )
+        decl = unit.classes[0]
+        assert decl.superclass == "b.Base"
+        assert decl.interfaces == ["x.I", "y.J"]
+
+    def test_interface(self):
+        unit = parse_compilation_unit("interface I { void m(); }")
+        decl = unit.classes[0]
+        assert decl.is_interface
+        assert decl.methods[0].body is None
+
+    def test_fields_and_methods(self):
+        unit = parse_compilation_unit(
+            "class A { int f; static b.C g; void m() { } static int n(int x) { return x; } }"
+        )
+        decl = unit.classes[0]
+        assert [f.name for f in decl.fields] == ["f", "g"]
+        assert decl.fields[1].is_static
+        assert decl.methods[1].is_static
+        assert decl.methods[1].params == [("int", "x")]
+
+    def test_constructor_detected(self):
+        unit = parse_compilation_unit("class A { A(int x) { } }")
+        ctor = unit.classes[0].methods[0]
+        assert ctor.is_constructor and ctor.name == "<init>"
+
+    def test_modifiers_ignored(self):
+        unit = parse_compilation_unit(
+            "public final class A { private int f; protected void m() { } }"
+        )
+        assert unit.classes[0].name == "A"
+
+    def test_array_type_rejected(self):
+        with pytest.raises(ParseError, match="array"):
+            parse_compilation_unit("class A { int[] xs; }")
+
+
+class TestStatements:
+    def test_local_decl_with_init(self):
+        body = parse_method_body("a.b.C x = y;")
+        assert isinstance(body[0], LocalDecl)
+        assert body[0].type_name == "a.b.C"
+        assert isinstance(body[0].init, Name)
+
+    def test_local_decl_without_init(self):
+        body = parse_method_body("int x;")
+        assert isinstance(body[0], LocalDecl) and body[0].init is None
+
+    def test_assignment_vs_decl_disambiguation(self):
+        body = parse_method_body("int x; x = 1; y.f = 2;")
+        assert isinstance(body[0], LocalDecl)
+        assert isinstance(body[1], AssignStmt)
+        assert isinstance(body[2], AssignStmt)
+        assert isinstance(body[2].target, FieldAccess)
+
+    def test_expression_statement(self):
+        body = parse_method_body("foo(1, 2);")
+        assert isinstance(body[0], ExprStmt)
+        assert isinstance(body[0].expr, Call)
+        assert body[0].expr.base is None
+
+    def test_return_forms(self):
+        body = parse_method_body("return; ")
+        assert isinstance(body[0], ReturnStmt) and body[0].value is None
+        body = parse_method_body("return x;")
+        assert isinstance(body[0].value, Name)
+
+    def test_if_else_chain(self):
+        body = parse_method_body(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"
+        )
+        outer = body[0]
+        assert isinstance(outer, IfStmt)
+        inner = outer.else_body[0]
+        assert isinstance(inner, IfStmt)
+        assert len(inner.else_body) == 1
+
+    def test_while(self):
+        body = parse_method_body("while (x < 3) { x = x + 1; }")
+        assert isinstance(body[0], WhileStmt)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_method_body("foo() = 3;")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.right, BinaryExpr) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryExpr) and expr.left.op == "+"
+
+    def test_comparison_and_logic(self):
+        expr = parse_expr("a == b && c != d")
+        assert expr.op == "&&"
+
+    def test_unary(self):
+        expr = parse_expr("!a")
+        assert isinstance(expr, UnaryExpr) and expr.op == "!"
+        expr = parse_expr("-3")
+        assert isinstance(expr, UnaryExpr) and isinstance(expr.operand, IntLit)
+
+    def test_cast(self):
+        expr = parse_expr("(android.widget.Button) b")
+        assert isinstance(expr, CastExpr)
+        assert expr.type_name == "android.widget.Button"
+
+    def test_cast_vs_parenthesised_expr(self):
+        expr = parse_expr("(a) + b")  # not a cast: '+' follows
+        assert isinstance(expr, BinaryExpr) and expr.op == "+"
+
+    def test_simple_name_cast(self):
+        expr = parse_expr("(Button) b")
+        assert isinstance(expr, CastExpr) and expr.type_name == "Button"
+
+    def test_new_with_args(self):
+        expr = parse_expr("new a.B(x, 1)")
+        assert isinstance(expr, NewExpr)
+        assert expr.type_name == "a.B" and len(expr.args) == 2
+
+    def test_method_chains(self):
+        expr = parse_expr("this.act.findViewById(id)")
+        assert isinstance(expr, Call) and expr.method == "findViewById"
+        assert isinstance(expr.base, FieldAccess)
+        assert isinstance(expr.base.base, ThisExpr)
+
+    def test_dotted_name_chain(self):
+        expr = parse_expr("R.id.button")
+        assert isinstance(expr, FieldAccess)
+        assert expr.field_name == "button"
+
+    def test_keyword_after_dot_rejected(self):
+        with pytest.raises(ParseError, match="keyword"):
+            parse_expr("a.class")
+
+    def test_literals(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("42").value == 42
+        assert parse_expr('"s"').value == "s"

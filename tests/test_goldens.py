@@ -1,0 +1,44 @@
+"""Golden-file regression tests.
+
+The running example's printed IR, solved hierarchy, and Figure 4
+rendering are pinned; any unintentional change to the frontend-facing
+output formats or to the analysis result shows up as a diff here.
+(Regenerate deliberately with `python tests/regen_goldens.py`.)
+"""
+
+import os
+
+import pytest
+
+from repro import analyze
+from repro.bench.figures import run_figure4
+from repro.corpus.connectbot import build_connectbot_example
+from repro.ir.printer import print_program
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+
+def golden(name: str) -> str:
+    with open(os.path.join(GOLDEN_DIR, name), encoding="utf-8") as f:
+        return f.read()
+
+
+class TestGoldens:
+    def test_printed_ir(self, connectbot_app):
+        assert print_program(connectbot_app.program) == golden("connectbot_ir.txt")
+
+    def test_hierarchy_dump(self, connectbot_result):
+        assert (
+            connectbot_result.hierarchy_dump("connectbot.ConsoleActivity")
+            == golden("hierarchy.txt")
+        )
+
+    def test_figure4_rendering(self, connectbot_result):
+        assert run_figure4(connectbot_result) == golden("figure4.txt")
+
+    def test_goldens_are_deterministic(self):
+        """A fresh build+analysis reproduces the pinned text exactly."""
+        app = build_connectbot_example()
+        result = analyze(app)
+        assert print_program(app.program) == golden("connectbot_ir.txt")
+        assert run_figure4(result) == golden("figure4.txt")

@@ -1,0 +1,200 @@
+"""Unit tests for the program model, builders, printer, and validator."""
+
+import pytest
+
+from repro.ir.builder import MethodBuilder, ProgramBuilder
+from repro.ir.printer import print_program, statement_to_str
+from repro.ir.program import Clazz, Field, Method, MethodSig, Program
+from repro.ir.statements import Assign, Goto, Invoke, InvokeKind, Load, New, Return
+from repro.ir.validate import IRValidationError, validate_program
+from repro.platform.classes import install_platform
+
+
+class TestProgramModel:
+    def test_method_sig(self):
+        m = Method("run", "app.C", params=[("x", "int")])
+        assert m.sig == MethodSig("app.C", "run", 1)
+        assert str(m.sig) == "app.C.run/1"
+
+    def test_instance_method_has_this(self):
+        m = Method("run", "app.C")
+        assert m.locals["this"].type_name == "app.C"
+        assert not m.is_static
+
+    def test_static_method_has_no_this(self):
+        m = Method("run", "app.C", is_static=True)
+        assert "this" not in m.locals
+
+    def test_duplicate_local_rejected(self):
+        m = Method("run", "app.C", params=[("x", "int")])
+        with pytest.raises(ValueError):
+            m.add_local("x", "int")
+
+    def test_duplicate_class_rejected(self):
+        p = Program()
+        p.add_class(Clazz("app.C"))
+        with pytest.raises(ValueError):
+            p.add_class(Clazz("app.C"))
+
+    def test_duplicate_method_rejected(self):
+        c = Clazz("app.C")
+        c.add_method(Method("m", "app.C"))
+        with pytest.raises(ValueError):
+            c.add_method(Method("m", "app.C"))
+
+    def test_overload_by_arity_allowed(self):
+        c = Clazz("app.C")
+        c.add_method(Method("m", "app.C"))
+        c.add_method(Method("m", "app.C", params=[("x", "int")]))
+        assert c.method("m", 0) is not None
+        assert c.method("m", 1) is not None
+
+    def test_duplicate_field_rejected(self):
+        c = Clazz("app.C")
+        c.add_field(Field("f", "int"))
+        with pytest.raises(ValueError):
+            c.add_field(Field("f", "int"))
+
+    def test_application_methods_skip_platform(self):
+        p = Program()
+        install_platform(p)
+        c = p.add_class(Clazz("app.C"))
+        c.add_method(Method("m", "app.C"))
+        assert [m.name for m in p.application_methods()] == ["m"]
+
+    def test_object_has_no_superclass(self):
+        c = Clazz("java.lang.Object")
+        assert c.superclass is None
+
+
+class TestBuilders:
+    def test_fresh_temps_are_unique(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C") as c:
+            with c.method("m") as m:
+                t1 = m.fresh("int")
+                t2 = m.fresh("int")
+        assert t1 != t2
+
+    def test_local_declaration_idempotent(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C") as c:
+            with c.method("m") as m:
+                assert m.local("x", "int") == "x"
+                assert m.local("x", "int") == "x"
+                with pytest.raises(ValueError):
+                    m.local("x", "long")
+
+    def test_invoke_defaults_to_declared_type(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C") as c:
+            with c.method("m") as m:
+                v = m.local("v", "android.view.View")
+                m.invoke(v, "setId", [m.const_int(3)])
+        stmt = [s for s in pb.program.clazz("app.C").method("m", 0).body
+                if isinstance(s, Invoke)][0]
+        assert stmt.class_name == "android.view.View"
+
+    def test_line_tracking(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C") as c:
+            with c.method("m") as m:
+                m.at(10)
+                x = m.new("app.C")
+                m.assign(x, x, line=11)
+        body = pb.program.clazz("app.C").method("m", 0).body
+        assert body[0].line == 10
+        assert body[1].line == 11
+
+    def test_static_method_this_raises(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C") as c:
+            with c.method("m", is_static=True) as m:
+                with pytest.raises(ValueError):
+                    _ = m.this
+
+
+class TestPrinter:
+    def test_statement_rendering(self):
+        assert statement_to_str(Assign("x", "y")) == "x := y"
+        assert statement_to_str(New("x", "app.C")) == "x := new app.C"
+        assert statement_to_str(Load("x", "y", "f")) == "x := y.f"
+        assert statement_to_str(Goto("L")) == "goto L"
+        call = Invoke("z", InvokeKind.STATIC, None, "app.C", "m", ("a",))
+        assert statement_to_str(call) == "z := app.C.m(a)"
+
+    def test_program_rendering_includes_classes(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C", extends="java.lang.Object") as c:
+            c.field("f", "int")
+            with c.method("m") as m:
+                m.ret()
+        text = print_program(pb.program)
+        assert "class app.C {" in text
+        assert "int f;" in text
+        assert "void m() {" in text
+
+
+class TestValidator:
+    def _program_with_body(self, build):
+        pb = ProgramBuilder()
+        install_platform(pb.program)
+        with pb.clazz("app.C") as c:
+            c.field("f", "java.lang.Object")
+            with c.method("m") as m:
+                build(m)
+        return pb.program
+
+    def test_valid_program_passes(self):
+        p = self._program_with_body(lambda m: m.ret())
+        assert validate_program(p) == []
+
+    def test_undeclared_local_caught(self):
+        def build(m):
+            m.method.append(Assign("x", "nope"))
+            m.method.add_local("x", "int")
+        p = self._program_with_body(build)
+        with pytest.raises(IRValidationError, match="undeclared local 'nope'"):
+            validate_program(p)
+
+    def test_bad_jump_target_caught(self):
+        p = self._program_with_body(lambda m: m.goto("missing"))
+        with pytest.raises(IRValidationError, match="unknown label"):
+            validate_program(p)
+
+    def test_unknown_field_caught(self):
+        def build(m):
+            x = m.local("x", "app.C")
+            m.load(x, "no_such_field")
+        p = self._program_with_body(build)
+        with pytest.raises(IRValidationError, match="no_such_field"):
+            validate_program(p)
+
+    def test_platform_field_access_allowed(self):
+        def build(m):
+            v = m.local("v", "android.view.View")
+            m.load(v, "anything")  # platform types may have unmodelled fields
+        p = self._program_with_body(build)
+        assert validate_program(p) == []
+
+    def test_unknown_superclass_caught(self):
+        p = Program()
+        p.add_class(Clazz("app.C", superclass="app.Missing"))
+        with pytest.raises(IRValidationError, match="unknown superclass"):
+            validate_program(p)
+
+    def test_unknown_call_target_caught(self):
+        pb = ProgramBuilder()
+        install_platform(pb.program)
+        with pb.clazz("app.C") as c:
+            with c.method("m") as m:
+                other = m.local("o", "app.C")
+                m.invoke(other, "ghost", [])
+        with pytest.raises(IRValidationError, match="ghost"):
+            validate_program(pb.program)
+
+    def test_non_strict_returns_errors(self):
+        p = Program()
+        p.add_class(Clazz("app.C", superclass="app.Missing"))
+        errors = validate_program(p, strict=False)
+        assert len(errors) == 1

@@ -1,0 +1,105 @@
+"""Unit tests for the ALite statement forms."""
+
+import pytest
+
+from repro.ir.statements import (
+    Assign,
+    Cast,
+    ConstInt,
+    ConstLayoutId,
+    ConstNull,
+    ConstString,
+    ConstViewId,
+    Goto,
+    If,
+    Invoke,
+    InvokeKind,
+    Label,
+    Load,
+    New,
+    Return,
+    StaticLoad,
+    StaticStore,
+    Store,
+)
+
+
+class TestDefsUses:
+    def test_assign(self):
+        s = Assign("x", "y")
+        assert s.defs() == ("x",)
+        assert s.uses() == ("y",)
+
+    def test_cast(self):
+        s = Cast("x", "android.view.View", "y")
+        assert s.defs() == ("x",)
+        assert s.uses() == ("y",)
+
+    def test_new(self):
+        s = New("x", "app.C")
+        assert s.defs() == ("x",)
+        assert s.uses() == ()
+
+    def test_load(self):
+        s = Load("x", "y", "f")
+        assert s.defs() == ("x",)
+        assert s.uses() == ("y",)
+
+    def test_store(self):
+        s = Store("x", "f", "y")
+        assert s.defs() == ()
+        assert set(s.uses()) == {"x", "y"}
+
+    def test_static_load_store(self):
+        assert StaticLoad("x", "app.C", "f").defs() == ("x",)
+        assert StaticStore("app.C", "f", "y").uses() == ("y",)
+
+    def test_id_constants(self):
+        assert ConstLayoutId("x", "main").defs() == ("x",)
+        assert ConstViewId("x", "button").defs() == ("x",)
+
+    def test_plain_constants(self):
+        assert ConstInt("x", 42).defs() == ("x",)
+        assert ConstString("x", "hi").defs() == ("x",)
+        assert ConstNull("x").defs() == ("x",)
+
+    def test_return(self):
+        assert Return("x").uses() == ("x",)
+        assert Return().uses() == ()
+
+    def test_control_flow(self):
+        assert Label("L1").defs() == ()
+        assert Goto("L1").uses() == ()
+        assert If("c", "L1").uses() == ("c",)
+
+
+class TestInvoke:
+    def test_virtual_call_defs_uses(self):
+        s = Invoke("z", InvokeKind.VIRTUAL, "x", "app.C", "m", ("a", "b"))
+        assert s.defs() == ("z",)
+        assert s.uses() == ("x", "a", "b")
+
+    def test_call_without_result(self):
+        s = Invoke(None, InvokeKind.VIRTUAL, "x", "app.C", "m", ())
+        assert s.defs() == ()
+
+    def test_static_call_has_no_receiver(self):
+        s = Invoke("z", InvokeKind.STATIC, None, "app.C", "m", ("a",))
+        assert s.uses() == ("a",)
+
+    def test_static_call_rejects_receiver(self):
+        with pytest.raises(ValueError):
+            Invoke(None, InvokeKind.STATIC, "x", "app.C", "m", ())
+
+    def test_virtual_call_requires_receiver(self):
+        with pytest.raises(ValueError):
+            Invoke(None, InvokeKind.VIRTUAL, None, "app.C", "m", ())
+
+    def test_args_normalised_to_tuple(self):
+        s = Invoke(None, InvokeKind.SPECIAL, "x", "app.C", "<init>", ["a"])
+        assert s.args == ("a",)
+
+    def test_line_is_keyword_only_metadata(self):
+        s = Assign("x", "y", line=12)
+        assert s.line == 12
+        assert Assign("x", "y").line is None

@@ -1,0 +1,184 @@
+"""End-to-end tests for non-click listener families.
+
+The catalog in ``repro.platform.events`` covers twelve listener
+families; these tests exercise representative ones through the full
+pipeline (registration op, LISTENER edges, callback parameter flow,
+dynamic dispatch, soundness).
+"""
+
+import pytest
+
+from repro import analyze
+from repro.frontend import load_app_from_sources
+from repro.platform.events import EventKind
+from repro.semantics import check_soundness, run_app
+
+
+def _app(listener_iface, registration, handler_sig, widget, widget_tag):
+    source = f"""
+    package app;
+    import android.app.Activity;
+    import android.view.View;
+    import {widget};
+
+    class Main extends Activity {{
+        void onCreate() {{
+            this.setContentView(R.layout.main);
+            View w = this.findViewById(R.id.target);
+            {widget.rsplit('.', 1)[-1]} t = ({widget.rsplit('.', 1)[-1]}) w;
+            H h = new H();
+            t.{registration}(h);
+        }}
+    }}
+    class H implements {listener_iface} {{
+        {handler_sig} {{ }}
+    }}
+    """
+    layout = f'<LinearLayout><{widget_tag} android:id="@+id/target"/></LinearLayout>'
+    return load_app_from_sources("t", [source], {"main": layout})
+
+
+CASES = [
+    # (interface as written, registration, handler signature, widget fqn,
+    #  widget tag, event kind, handler name, view param index)
+    ("View.OnLongClickListener", "setOnLongClickListener",
+     "void onLongClick(View v)", "android.widget.Button", "Button",
+     EventKind.LONG_CLICK, "onLongClick", 0),
+    ("View.OnTouchListener", "setOnTouchListener",
+     "void onTouch(View v, android.view.MotionEvent e)",
+     "android.widget.ImageView", "ImageView", EventKind.TOUCH, "onTouch", 0),
+    ("View.OnFocusChangeListener", "setOnFocusChangeListener",
+     "void onFocusChange(View v, boolean b)", "android.widget.EditText",
+     "EditText", EventKind.FOCUS_CHANGE, "onFocusChange", 0),
+    # For AdapterView families the *registered* view arrives at param 0
+    # (the parent); the clicked row at param 1 is covered separately.
+    ("android.widget.AdapterView.OnItemClickListener", "setOnItemClickListener",
+     "void onItemClick(android.widget.AdapterView p, View v, int i, long l)",
+     "android.widget.ListView", "ListView", EventKind.ITEM_CLICK,
+     "onItemClick", 0),
+    ("android.widget.CompoundButton.OnCheckedChangeListener",
+     "setOnCheckedChangeListener",
+     "void onCheckedChanged(android.widget.CompoundButton b, boolean c)",
+     "android.widget.CheckBox", "CheckBox", EventKind.CHECKED_CHANGE,
+     "onCheckedChanged", 0),
+]
+
+
+@pytest.mark.parametrize(
+    "iface,reg,handler_sig,widget,tag,event,handler,view_param",
+    CASES,
+    ids=[c[5].value for c in CASES],
+)
+class TestFamilies:
+    def test_static_association(self, iface, reg, handler_sig, widget, tag,
+                                event, handler, view_param):
+        app = _app(iface, reg, handler_sig, widget, tag)
+        result = analyze(app)
+        target = next(v for v in result.activity_views("app.Main")
+                      if v.id_name == "target")
+        listeners = result.listeners_of(target)
+        assert {v.class_name for v in listeners} == {"app.H"}
+        handlers = result.handlers_for_view(target)
+        assert handlers and handlers[0][0] is event
+
+    def test_view_param_flow(self, iface, reg, handler_sig, widget, tag,
+                             event, handler, view_param):
+        app = _app(iface, reg, handler_sig, widget, tag)
+        result = analyze(app)
+        clazz = app.program.clazz("app.H")
+        method = next(m for m in clazz.methods.values() if m.name == handler)
+        arity = len(method.param_names)
+        param = method.param_names[view_param]
+        views = result.views_at_var("app.H", handler, arity, param)
+        assert {v.id_name for v in views} == {"target"}
+
+    def test_dynamic_dispatch_and_soundness(self, iface, reg, handler_sig,
+                                            widget, tag, event, handler,
+                                            view_param):
+        app = _app(iface, reg, handler_sig, widget, tag)
+        result = analyze(app)
+        run = run_app(app)
+        assert any(h.startswith("app.H.") for h in run.trace.handler_invocations)
+        assert any(e[2] == event.value for e in run.fired_events)
+        report = check_soundness(result, run.trace)
+        assert report.violations == []
+
+
+class TestItemClickRowParameter:
+    def test_row_views_flow_to_item_param(self):
+        """With an adapter attached, the clicked-row parameter of
+        onItemClick receives the adapter-produced row views."""
+        source = """
+        package app;
+        import android.app.Activity;
+        import android.view.LayoutInflater;
+        import android.view.View;
+        import android.widget.BaseAdapter;
+        import android.widget.ListView;
+
+        class Main extends Activity {
+            void onCreate() {
+                this.setContentView(R.layout.main);
+                View w = this.findViewById(R.id.target);
+                ListView list = (ListView) w;
+                Rows adapter = new Rows();
+                list.setAdapter(adapter);
+                H h = new H();
+                list.setOnItemClickListener(h);
+            }
+        }
+        class Rows extends BaseAdapter {
+            View getView() {
+                LayoutInflater infl = new LayoutInflater();
+                View row = infl.inflate(R.layout.row);
+                return row;
+            }
+        }
+        class H implements android.widget.AdapterView.OnItemClickListener {
+            void onItemClick(android.widget.AdapterView p, View v, int i, long l) { }
+        }
+        """
+        layouts = {
+            "main": '<LinearLayout><ListView android:id="@+id/target"/></LinearLayout>',
+            "row": '<RelativeLayout><TextView android:id="@+id/t"/></RelativeLayout>',
+        }
+        app = load_app_from_sources("t", [source], layouts)
+        result = analyze(app)
+        rows = result.views_at_var("app.H", "onItemClick", 4, "v")
+        assert {v.view_class for v in rows} == {"android.widget.RelativeLayout"}
+        parents = result.views_at_var("app.H", "onItemClick", 4, "p")
+        assert {v.id_name for v in parents} == {"target"}
+        run = run_app(app)
+        assert check_soundness(result, run.trace).violations == []
+
+
+class TestTextWatcher:
+    def test_no_view_param(self):
+        source = """
+        package app;
+        import android.app.Activity;
+        import android.view.View;
+        import android.widget.EditText;
+
+        class Main extends Activity {
+            void onCreate() {
+                this.setContentView(R.layout.main);
+                View w = this.findViewById(R.id.target);
+                EditText t = (EditText) w;
+                W h = new W();
+                t.addTextChangedListener(h);
+            }
+        }
+        class W implements android.text.TextWatcher {
+            void afterTextChanged(android.text.Editable e) { }
+        }
+        """
+        layout = '<LinearLayout><EditText android:id="@+id/target"/></LinearLayout>'
+        app = load_app_from_sources("t", [source], {"main": layout})
+        result = analyze(app)
+        target = next(v for v in result.activity_views("app.Main")
+                      if v.id_name == "target")
+        assert {v.class_name for v in result.listeners_of(target)} == {"app.W"}
+        run = run_app(app)
+        assert "app.W.afterTextChanged/1" in run.trace.handler_invocations
+        assert check_soundness(result, run.trace).violations == []

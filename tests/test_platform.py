@@ -1,0 +1,222 @@
+"""Unit tests for the platform model: class stubs, events, API catalog."""
+
+import pytest
+
+from repro.hierarchy.cha import ClassHierarchy
+from repro.ir.builder import ProgramBuilder
+from repro.ir.program import Program
+from repro.ir.statements import Invoke, InvokeKind
+from repro.platform.api import (
+    OpKind,
+    classify_invoke,
+    is_framework_callback,
+)
+from repro.platform.classes import (
+    ACTIVITY,
+    VIEW,
+    VIEW_GROUP,
+    container_classes,
+    install_platform,
+    platform_class_names,
+    widget_leaf_classes,
+)
+from repro.platform.events import (
+    EventKind,
+    LISTENER_SPECS,
+    listener_interfaces,
+    spec_for_interface,
+    spec_for_registration,
+)
+
+
+@pytest.fixture()
+def hierarchy():
+    program = Program()
+    install_platform(program)
+    pb = ProgramBuilder(program)
+    with pb.clazz("app.MyActivity", extends=ACTIVITY) as c:
+        with c.method("findViewById", params=[("a", "int")], returns=VIEW) as m:
+            m.const_null("r")
+            m.ret("r")
+    pb.clazz("app.MyView", extends=VIEW)
+    return ClassHierarchy(program)
+
+
+def _invoke_in(hierarchy, receiver_type, method_name, args=(), lhs=None, arg_types=()):
+    """Build a one-off caller method holding the invoke to classify."""
+    method_holder = Program()
+    install_platform(method_holder)
+    from repro.ir.program import Method
+
+    caller = Method("caller", "app.Caller")
+    caller.add_local("recv", receiver_type)
+    names = []
+    for i, t in enumerate(arg_types or ["java.lang.Object"] * len(args)):
+        caller.add_local(f"a{i}", t)
+        names.append(f"a{i}")
+    if lhs:
+        caller.add_local(lhs, "java.lang.Object")
+    stmt = Invoke(lhs, InvokeKind.VIRTUAL, "recv", receiver_type, method_name, tuple(names))
+    return classify_invoke(hierarchy, caller, stmt)
+
+
+class TestPlatformClasses:
+    def test_install_is_idempotent(self):
+        program = Program()
+        install_platform(program)
+        count = len(program.classes)
+        install_platform(program)
+        assert len(program.classes) == count
+
+    def test_all_names_installed(self):
+        program = Program()
+        install_platform(program)
+        for name in platform_class_names():
+            assert program.clazz(name) is not None
+
+    def test_widget_hierarchy(self, hierarchy):
+        assert hierarchy.is_subtype("android.widget.Button", VIEW)
+        assert hierarchy.is_subtype("android.widget.CheckBox", "android.widget.Button")
+        assert hierarchy.is_subtype("android.widget.ViewFlipper", VIEW_GROUP)
+        assert hierarchy.is_subtype("android.widget.ListView", VIEW_GROUP)
+        assert not hierarchy.is_subtype(VIEW, VIEW_GROUP)
+
+    def test_generator_class_lists_are_views(self, hierarchy):
+        for name in widget_leaf_classes():
+            assert hierarchy.is_subtype(name, VIEW)
+            assert not hierarchy.is_subtype(name, VIEW_GROUP)
+        for name in container_classes():
+            assert hierarchy.is_subtype(name, VIEW_GROUP)
+
+
+class TestEventCatalog:
+    def test_registration_lookup(self):
+        spec = spec_for_registration("setOnClickListener")
+        assert spec is not None
+        assert spec.event is EventKind.CLICK
+        assert spec.handler == "onClick"
+        assert spec.view_param_index == 0
+
+    def test_interface_lookup(self):
+        spec = spec_for_interface("android.view.View$OnClickListener")
+        assert spec is not None and spec.registration == "setOnClickListener"
+
+    def test_unknown_registration(self):
+        assert spec_for_registration("setOnFooListener") is None
+
+    def test_text_watcher_has_no_view_param(self):
+        spec = spec_for_registration("addTextChangedListener")
+        assert spec is not None and spec.view_param_index is None
+
+    def test_item_click_view_param_position(self):
+        spec = spec_for_registration("setOnItemClickListener")
+        assert spec is not None and spec.view_param_index == 0
+        assert spec.handler_arity == 4
+
+    def test_all_interfaces_unique(self):
+        interfaces = listener_interfaces()
+        assert len(interfaces) == len(set(interfaces))
+        assert len(LISTENER_SPECS) == len(interfaces)
+
+
+class TestApiClassification:
+    def test_inflater_inflate(self, hierarchy):
+        spec = _invoke_in(hierarchy, "android.view.LayoutInflater", "inflate",
+                          args=("x",), lhs="r", arg_types=["int"])
+        assert spec is not None and spec.kind is OpKind.INFLATE1
+        assert spec.arg_index == 0
+
+    def test_set_content_view_int(self, hierarchy):
+        spec = _invoke_in(hierarchy, ACTIVITY, "setContentView",
+                          args=("x",), arg_types=["int"])
+        assert spec is not None and spec.kind is OpKind.INFLATE2
+
+    def test_set_content_view_view(self, hierarchy):
+        spec = _invoke_in(hierarchy, ACTIVITY, "setContentView",
+                          args=("x",), arg_types=[VIEW])
+        assert spec is not None and spec.kind is OpKind.ADDVIEW1
+
+    def test_dialog_set_content_view(self, hierarchy):
+        spec = _invoke_in(hierarchy, "android.app.AlertDialog", "setContentView",
+                          args=("x",), arg_types=["int"])
+        assert spec is not None and spec.kind is OpKind.INFLATE2
+
+    def test_add_view(self, hierarchy):
+        spec = _invoke_in(hierarchy, "android.widget.LinearLayout", "addView",
+                          args=("x",), arg_types=[VIEW])
+        assert spec is not None and spec.kind is OpKind.ADDVIEW2
+
+    def test_add_view_on_plain_view_not_op(self, hierarchy):
+        assert _invoke_in(hierarchy, VIEW, "addView", args=("x",),
+                          arg_types=[VIEW]) is None
+
+    def test_set_id(self, hierarchy):
+        spec = _invoke_in(hierarchy, "android.widget.Button", "setId",
+                          args=("x",), arg_types=["int"])
+        assert spec is not None and spec.kind is OpKind.SETID
+
+    def test_set_listener(self, hierarchy):
+        spec = _invoke_in(hierarchy, "android.widget.Button", "setOnClickListener",
+                          args=("l",))
+        assert spec is not None and spec.kind is OpKind.SETLISTENER
+        assert spec.listener is not None
+        assert spec.listener.event is EventKind.CLICK
+
+    def test_find_view_by_id_on_view(self, hierarchy):
+        spec = _invoke_in(hierarchy, VIEW, "findViewById",
+                          args=("x",), lhs="r", arg_types=["int"])
+        assert spec is not None and spec.kind is OpKind.FINDVIEW1
+
+    def test_find_view_by_id_on_activity(self, hierarchy):
+        spec = _invoke_in(hierarchy, ACTIVITY, "findViewById",
+                          args=("x",), lhs="r", arg_types=["int"])
+        assert spec is not None and spec.kind is OpKind.FINDVIEW2
+
+    def test_application_override_shadows_api(self, hierarchy):
+        # app.MyActivity overrides findViewById -> ordinary call.
+        spec = _invoke_in(hierarchy, "app.MyActivity", "findViewById",
+                          args=("x",), lhs="r", arg_types=["int"])
+        assert spec is None
+
+    def test_get_current_view_children_only(self, hierarchy):
+        spec = _invoke_in(hierarchy, "android.widget.ViewFlipper",
+                          "getCurrentView", lhs="r")
+        assert spec is not None and spec.kind is OpKind.FINDVIEW3
+        assert spec.children_only
+
+    def test_find_focus_descendants(self, hierarchy):
+        spec = _invoke_in(hierarchy, VIEW, "findFocus", lhs="r")
+        assert spec is not None and spec.kind is OpKind.FINDVIEW3
+        assert not spec.children_only
+
+    def test_get_parent(self, hierarchy):
+        spec = _invoke_in(hierarchy, "app.MyView", "getParent", lhs="r")
+        assert spec is not None and spec.kind is OpKind.GETPARENT
+
+    def test_unrelated_call_not_classified(self, hierarchy):
+        assert _invoke_in(hierarchy, "java.lang.Object", "toString", lhs="r") is None
+
+    def test_static_view_inflate(self, hierarchy):
+        from repro.ir.program import Method
+
+        caller = Method("caller", "app.Caller", is_static=True)
+        caller.add_local("ctx", "android.content.Context")
+        caller.add_local("lid", "int")
+        caller.add_local("root", VIEW_GROUP)
+        caller.add_local("r", VIEW)
+        stmt = Invoke("r", InvokeKind.STATIC, None, VIEW, "inflate",
+                      ("ctx", "lid", "root"))
+        spec = classify_invoke(hierarchy, caller, stmt)
+        assert spec is not None and spec.kind is OpKind.INFLATE1
+        assert spec.arg_index == 1
+
+
+class TestFrameworkCallbackHeuristic:
+    @pytest.mark.parametrize("name", ["onCreate", "onResume", "onOptionsItemSelected",
+                                      "onKeyDown", "onFancyCustomEvent"])
+    def test_positive(self, name):
+        assert is_framework_callback(name)
+
+    @pytest.mark.parametrize("name", ["create", "once", "online", "on", "run"])
+    def test_negative(self, name):
+        assert not is_framework_callback(name)

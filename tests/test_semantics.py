@@ -1,0 +1,312 @@
+"""Unit tests for the concrete interpreter and lifecycle driver."""
+
+import pytest
+
+from repro.app import AndroidApp
+from repro.ir.builder import ProgramBuilder
+from repro.ir.statements import BinOp, InvokeKind, UnaryOp
+from repro.resources.layout import LayoutNode, LayoutTree
+from repro.resources.manifest import Manifest
+from repro.resources.rtable import ResourceTable
+from repro.semantics import (
+    Interpreter,
+    InterpreterLimits,
+    StepBudgetExceeded,
+    run_app,
+)
+from repro.semantics.values import ActivityTag, Heap, Obj
+
+from conftest import make_single_activity_app
+
+ACTIVITY = "app.MainActivity"
+VIEW = "android.view.View"
+
+
+def _bare_app(build) -> AndroidApp:
+    pb = ProgramBuilder()
+    with pb.clazz("app.C") as c:
+        with c.method("run", returns="java.lang.Object") as m:
+            build(m)
+    return AndroidApp("t", pb.build(), ResourceTable(), Manifest())
+
+
+def _run_method(app: AndroidApp, class_name="app.C", method="run", args=()):
+    interp = Interpreter(app)
+    target = app.program.clazz(class_name).method(method, len(args))
+    this = interp.heap.allocate(class_name, ActivityTag(class_name))
+    return interp, interp.call(target, this, list(args))
+
+
+class TestStatements:
+    def test_arithmetic(self):
+        def build(m):
+            a = m.const_int(7)
+            b = m.const_int(3)
+            r = m.fresh("int")
+            m.method.append(BinOp(r, "-", a, b))
+            m.ret(r)
+
+        _interp, result = _run_method(_bare_app(build))
+        assert result == 4
+
+    @pytest.mark.parametrize("op,a,b,expected", [
+        ("+", 2, 3, 5), ("*", 2, 3, 6), ("/", 7, 2, 3), ("%", 7, 2, 1),
+        ("==", 2, 2, 1), ("!=", 2, 2, 0), ("<", 1, 2, 1), (">=", 2, 2, 1),
+        ("&&", 1, 0, 0), ("||", 1, 0, 1),
+    ])
+    def test_binops(self, op, a, b, expected):
+        def build(m):
+            va = m.const_int(a)
+            vb = m.const_int(b)
+            r = m.fresh("int")
+            m.method.append(BinOp(r, op, va, vb))
+            m.ret(r)
+
+        _interp, result = _run_method(_bare_app(build))
+        assert result == expected
+
+    def test_division_by_zero_yields_zero(self):
+        def build(m):
+            a = m.const_int(5)
+            b = m.const_int(0)
+            r = m.fresh("int")
+            m.method.append(BinOp(r, "/", a, b))
+            m.ret(r)
+
+        _interp, result = _run_method(_bare_app(build))
+        assert result == 0
+
+    def test_negation(self):
+        def build(m):
+            a = m.const_int(0)
+            r = m.fresh("int")
+            m.method.append(UnaryOp(r, "!", a))
+            m.ret(r)
+
+        _interp, result = _run_method(_bare_app(build))
+        assert result == 1
+
+    def test_fields(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C") as c:
+            c.field("f", "java.lang.Object")
+            with c.method("run", returns="java.lang.Object") as m:
+                x = m.new("app.C")
+                m.store("this", "f", x)
+                y = m.load("this", "f")
+                m.ret(y)
+        app = AndroidApp("t", pb.build(), ResourceTable(), Manifest())
+        _interp, result = _run_method(app)
+        assert isinstance(result, Obj) and result.class_name == "app.C"
+
+    def test_static_fields(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C") as c:
+            c.field("g", "java.lang.Object", is_static=True)
+            with c.method("run", returns="java.lang.Object") as m:
+                x = m.new("app.C")
+                m.static_store("app.C", "g", x)
+                y = m.static_load("app.C", "g")
+                m.ret(y)
+        app = AndroidApp("t", pb.build(), ResourceTable(), Manifest())
+        _interp, result = _run_method(app)
+        assert isinstance(result, Obj)
+
+    def test_cast_failure_yields_null(self):
+        def build(m):
+            x = m.new("app.C")
+            y = m.cast("java.lang.String", x)
+            m.ret(y)
+
+        _interp, result = _run_method(_bare_app(build))
+        assert result is None
+
+    def test_branching(self):
+        def build(m):
+            c = m.const_int(1)
+            r = m.local("r", "int")
+            m.if_goto(c, "T")
+            m.const_int(10, lhs=r)
+            m.goto("E")
+            m.label("T")
+            m.const_int(20, lhs=r)
+            m.label("E")
+            m.ret(r)
+
+        _interp, result = _run_method(_bare_app(build))
+        assert result == 20
+
+    def test_loop(self):
+        def build(m):
+            i = m.const_int(0, lhs=m.local("i", "int"))
+            limit = m.const_int(5)
+            one = m.const_int(1)
+            m.label("H")
+            done = m.fresh("int")
+            m.method.append(BinOp(done, ">=", i, limit))
+            m.if_goto(done, "E")
+            m.method.append(BinOp(i, "+", i, one))
+            m.goto("H")
+            m.label("E")
+            m.ret(i)
+
+        _interp, result = _run_method(_bare_app(build))
+        assert result == 5
+
+
+class TestBudgets:
+    def test_infinite_loop_stopped(self):
+        def build(m):
+            m.label("H")
+            m.goto("H")
+
+        app = _bare_app(build)
+        interp = Interpreter(app, limits=InterpreterLimits(max_steps=1000))
+        target = app.program.clazz("app.C").method("run", 0)
+        with pytest.raises(StepBudgetExceeded):
+            interp.call(target, interp.heap.allocate("app.C", ActivityTag("app.C")), [])
+
+    def test_deep_recursion_stopped(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.C") as c:
+            with c.method("run", returns="java.lang.Object") as m:
+                m.invoke(m.this, "run", [], lhs=m.fresh("java.lang.Object"))
+                m.ret()
+        app = AndroidApp("t", pb.build(), ResourceTable(), Manifest())
+        interp = Interpreter(app, limits=InterpreterLimits(max_depth=10))
+        target = app.program.clazz("app.C").method("run", 0)
+        with pytest.raises(StepBudgetExceeded):
+            interp.call(target, interp.heap.allocate("app.C", ActivityTag("app.C")), [])
+
+    def test_driver_survives_budget(self):
+        pb = ProgramBuilder()
+        with pb.clazz(ACTIVITY, extends="android.app.Activity") as c:
+            with c.method("onCreate") as m:
+                m.label("H")
+                m.goto("H")
+        manifest = Manifest()
+        manifest.add_activity(ACTIVITY)
+        app = AndroidApp("t", pb.build(), ResourceTable(), manifest)
+        result = run_app(app, limits=InterpreterLimits(max_steps=500))
+        assert result.budget_exhausted
+
+
+class TestGuiOperations:
+    def test_inflation_creates_tagged_objects(self):
+        app = make_single_activity_app()
+        result = run_app(app)
+        activity = result.activities[0]
+        assert activity.root is not None
+        assert activity.root.class_name == "android.widget.LinearLayout"
+        kids = activity.root.children
+        assert len(kids) == 1 and kids[0].class_name == "android.widget.Button"
+        assert kids[0].vid == app.resources.view_id("button_a")
+
+    def test_find_view_by_id(self):
+        def body(m):
+            vid = m.view_id("button_a")
+            m.invoke(m.this, "findViewById", [vid], lhs=m.local("b", VIEW), line=2)
+            m.store("this", "found", "b")
+
+        app = make_single_activity_app(build_on_create=body)
+        app.program.clazz(ACTIVITY).add_field(
+            __import__("repro.ir.program", fromlist=["Field"]).Field("found", VIEW)
+        )
+        result = run_app(app)
+        found = result.activities[0].fields["found"]
+        assert isinstance(found, Obj) and found.class_name == "android.widget.Button"
+
+    def test_set_id_and_add_view(self):
+        def body(m):
+            v = m.new("android.widget.TextView",
+                      lhs=m.local("v", "android.widget.TextView"), line=2)
+            m.invoke(v, "setId", [m.view_id("dyn", line=3)], line=3)
+            rid = m.view_id("root", line=4)
+            m.invoke(m.this, "findViewById", [rid], lhs=m.local("rv", VIEW), line=4)
+            m.cast("android.widget.LinearLayout", "rv",
+                   lhs=m.local("c", "android.widget.LinearLayout"), line=5)
+            m.invoke("c", "addView", [v], line=6)
+
+        app = make_single_activity_app(build_on_create=body)
+        result = run_app(app)
+        root = result.activities[0].root
+        dynamic = [o for o in root.descendants() if o.class_name.endswith("TextView")]
+        assert dynamic and dynamic[0].vid == app.resources.view_id("dyn")
+        assert dynamic[0].parent is root
+
+    def test_event_dispatch_invokes_handler(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.Click", implements=["android.view.View$OnClickListener"]) as c:
+            c.field("hits", "int", is_static=True)
+            with c.method("onClick", params=[("v", VIEW)]) as m:
+                one = m.const_int(1)
+                m.static_store("app.Click", "hits", one)
+                m.ret()
+        root = LayoutNode("android.widget.LinearLayout", id_name="root")
+        root.add_child(LayoutNode("android.widget.Button", id_name="b"))
+        with pb.clazz(ACTIVITY, extends="android.app.Activity") as c:
+            with c.method("onCreate") as m:
+                m.invoke(m.this, "setContentView", [m.layout_id("main", line=1)], line=1)
+                m.invoke(m.this, "findViewById", [m.view_id("b", line=2)],
+                         lhs=m.local("btn", VIEW), line=2)
+                lst = m.new("app.Click", lhs=m.local("l", "app.Click"), line=3)
+                m.invoke("btn", "setOnClickListener", [lst], line=4)
+                m.ret()
+        resources = ResourceTable()
+        resources.add_layout(LayoutTree("main", root))
+        manifest = Manifest()
+        manifest.add_activity(ACTIVITY)
+        app = AndroidApp("t", pb.build(), resources, manifest)
+        result = run_app(app)
+        assert result.fired_events
+        assert "app.Click.onClick/1" in result.trace.handler_invocations
+        assert result.heap.static_get("app.Click", "hits") == 1
+
+    def test_xml_onclick_dispatch(self):
+        root = LayoutNode("android.widget.LinearLayout", id_name="root")
+        root.add_child(LayoutNode("android.widget.Button", on_click="handle"))
+        layout = LayoutTree("main", root)
+        pb = ProgramBuilder()
+        with pb.clazz(ACTIVITY, extends="android.app.Activity") as c:
+            c.field("clicked", VIEW)
+            with c.method("onCreate") as m:
+                m.invoke(m.this, "setContentView", [m.layout_id("main", line=1)], line=1)
+                m.ret()
+            with c.method("handle", params=[("v", VIEW)]) as m:
+                m.store("this", "clicked", "v")
+                m.ret()
+        resources = ResourceTable()
+        resources.add_layout(layout)
+        manifest = Manifest()
+        manifest.add_activity(ACTIVITY)
+        app = AndroidApp("t", pb.build(), resources, manifest)
+        result = run_app(app)
+        clicked = result.activities[0].fields.get("clicked")
+        assert isinstance(clicked, Obj)
+        assert clicked.class_name == "android.widget.Button"
+
+    def test_trace_records_op_events(self):
+        app = make_single_activity_app()
+        result = run_app(app)
+        kinds = {e.kind for e in result.trace.events}
+        assert "Inflate2" in kinds
+
+    def test_static_init_runs_first(self):
+        pb = ProgramBuilder()
+        with pb.clazz("app.Registry") as c:
+            c.field("ready", "int", is_static=True)
+            with c.method("setup", is_static=True) as m:
+                one = m.const_int(1)
+                m.static_store("app.Registry", "ready", one)
+                m.ret()
+        with pb.clazz(ACTIVITY, extends="android.app.Activity") as c:
+            c.field("sawReady", "int")
+            with c.method("onCreate") as m:
+                r = m.static_load("app.Registry", "ready", type_name="int")
+                m.store("this", "sawReady", r)
+                m.ret()
+        manifest = Manifest()
+        manifest.add_activity(ACTIVITY)
+        app = AndroidApp("t", pb.build(), ResourceTable(), manifest)
+        result = run_app(app)
+        assert result.activities[0].fields["sawReady"] == 1
