@@ -4,6 +4,8 @@ Usage::
 
     python -m repro analyze PROJECT_DIR [--json] [--dot FILE] [--checks]
                                         [--taint] [--transitions] [--tuples]
+                                        [--profile] [--profile-json FILE]
+                                        [--max-rounds N]
     python -m repro run PROJECT_DIR [--seed N]
     python -m repro disasm PROJECT_DIR [-o FILE]
 
@@ -28,12 +30,47 @@ def _load(path: str):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    profiling = args.profile or args.profile_json
+    tracer = None
+    if profiling:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    exit_code = _run_analyze(args, tracer)
+    if tracer is not None:
+        from repro.bench.reporting import render_telemetry
+        from repro.obs import to_json
+
+        if not args.json:  # keep `--json` stdout machine-parseable
+            print()
+            print(render_telemetry(tracer))
+        if args.profile_json:
+            with open(args.profile_json, "w", encoding="utf-8") as f:
+                f.write(to_json(tracer, indent=2))
+            if not args.json:
+                print(f"\ntelemetry written to {args.profile_json}")
+    return exit_code
+
+
+def _run_analyze(args: argparse.Namespace, tracer) -> int:
+    import contextlib
+
     from repro import analyze
+    from repro.core.analysis import AnalysisOptions
     from repro.core.export import graph_to_dot, result_to_json
     from repro.core.metrics import compute_graph_stats, compute_precision
 
-    app = _load(args.project)
-    result = analyze(app)
+    def phase(name: str):
+        if tracer is None:
+            return contextlib.nullcontext()
+        return tracer.span(name)
+
+    with phase("load"):
+        app = _load(args.project)
+    options = AnalysisOptions()
+    if args.max_rounds is not None:
+        options.max_rounds = args.max_rounds
+    result = analyze(app, options, tracer=tracer)
 
     if args.json:
         print(result_to_json(result, indent=2))
@@ -50,7 +87,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
           f"layouts={stats.layout_ids} view-ids={stats.view_ids}")
     print(f"  views inflated/allocated: {stats.views_inflated}/"
           f"{stats.views_allocated}, listeners: {stats.listeners}")
-    print(f"  solve: {result.solve_seconds:.3f}s in {result.rounds} rounds")
+    converged_note = "" if result.converged else (
+        f" (NOT CONVERGED: max_rounds={result.options.max_rounds} reached, "
+        "solution may be incomplete)"
+    )
+    print(f"  solve: {result.solve_seconds:.3f}s in {result.rounds} rounds"
+          f"{converged_note}")
     print(f"  precision: receivers={metrics.receivers} results={metrics.results}")
     for activity in sorted(app.activity_classes()):
         print()
@@ -59,34 +101,35 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if items:
             print("  options menu: " + ", ".join(str(i) for i in items))
 
-    if args.tuples:
-        print("\nGUI tuples:")
-        for t in sorted(result.gui_tuples(), key=str):
-            print(f"  ({t.activity_class}, {t.view}, {t.event.value}, {t.handler})")
-    if args.transitions:
-        from repro.clients import build_transition_graph
+    with phase("clients"):
+        if args.tuples:
+            print("\nGUI tuples:")
+            for t in sorted(result.gui_tuples(), key=str):
+                print(f"  ({t.activity_class}, {t.view}, {t.event.value}, {t.handler})")
+        if args.transitions:
+            from repro.clients import build_transition_graph
 
-        print("\nTransitions:")
-        graph = build_transition_graph(result)
-        for tr in graph.transitions:
-            print(f"  {tr.source} -> {tr.target} "
-                  f"({tr.trigger.event.value} on {tr.trigger.view})")
-    if args.checks:
-        from repro.clients import run_error_checks
+            print("\nTransitions:")
+            graph = build_transition_graph(result)
+            for tr in graph.transitions:
+                print(f"  {tr.source} -> {tr.target} "
+                      f"({tr.trigger.event.value} on {tr.trigger.view})")
+        if args.checks:
+            from repro.clients import run_error_checks
 
-        report = run_error_checks(result)
-        print(f"\nChecks: {len(report)} finding(s)")
-        for finding in report.findings:
-            print(f"  {finding}")
-        if report.findings:
-            return 1
-    if args.taint:
-        from repro.clients import run_taint_analysis
+            report = run_error_checks(result)
+            print(f"\nChecks: {len(report)} finding(s)")
+            for finding in report.findings:
+                print(f"  {finding}")
+            if report.findings:
+                return 1
+        if args.taint:
+            from repro.clients import run_taint_analysis
 
-        findings = run_taint_analysis(result)
-        print(f"\nTaint: {len(findings)} finding(s)")
-        for finding in findings:
-            print(f"  {finding}")
+            findings = run_taint_analysis(result)
+            print(f"\nTaint: {len(findings)} finding(s)")
+            for finding in findings:
+                print(f"  {finding}")
     return 0
 
 
@@ -148,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print the activity transition graph")
     p_analyze.add_argument("--tuples", action="store_true",
                            help="print the (activity, view, event, handler) tuples")
+    p_analyze.add_argument("--profile", action="store_true",
+                           help="collect and print solver telemetry "
+                           "(phase timings, per-rule firing counters)")
+    p_analyze.add_argument("--profile-json", metavar="FILE",
+                           help="write telemetry as JSON (repro.obs/1 schema, "
+                           "see docs/OBSERVABILITY.md); implies --profile")
+    p_analyze.add_argument("--max-rounds", type=int, metavar="N",
+                           help="override the solver's max_rounds safety valve")
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_run = sub.add_parser("run", help="execute the app in the interpreter")

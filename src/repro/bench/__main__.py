@@ -4,11 +4,15 @@ Usage::
 
     python -m repro.bench all
     python -m repro.bench table1 [APP ...]
-    python -m repro.bench table2 [APP ...]
+    python -m repro.bench table2 [--profile] [APP ...]
     python -m repro.bench figure3
     python -m repro.bench figure4
     python -m repro.bench casestudy
     python -m repro.bench ablation [APP ...]
+
+``--profile`` makes the Table 2 run collect ``repro.obs`` telemetry
+(per-app/phase timings, per-rule firing counters) and append the
+report after the table.
 """
 
 from __future__ import annotations
@@ -19,6 +23,8 @@ from typing import List, Optional
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    profile = "--profile" in args
+    args = [a for a in args if a != "--profile"]
     target = args[0] if args else "all"
     apps = args[1:] or None
 
@@ -28,7 +34,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if target in ("table1", "all"):
         outputs.append(table1.main(apps))
     if target in ("table2", "all"):
-        outputs.append(table2.main(apps))
+        outputs.append(table2.main(apps, profile=profile))
     if target in ("figure3", "all"):
         outputs.append(figures.main_figure3())
     if target in ("figure4", "all"):

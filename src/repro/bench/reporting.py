@@ -1,8 +1,12 @@
-"""Plain-text table rendering for the bench harness."""
+"""Plain-text table rendering for the bench harness, including the
+telemetry report produced from a ``repro.obs`` tracer."""
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.tracer import Tracer
 
 
 def render_table(
@@ -39,3 +43,91 @@ def render_table(
     for row in rows:
         lines.append(fmt([str(c) for c in row]))
     return "\n".join(lines)
+
+
+def render_telemetry(tracer: "Tracer") -> str:
+    """Render a tracer's telemetry as text: per-phase timings, the
+    per-inference-rule firing counters, and the remaining counters.
+
+    Used both by ``python -m repro analyze --profile`` and by the
+    bench harness (``python -m repro.bench table2 --profile``), so
+    Table 2 runs emit the same report format as single-app profiles.
+    """
+    sections: List[str] = []
+
+    phases = tracer.phase_seconds()
+    if phases:
+        sections.append(
+            render_table(
+                ["Phase", "Seconds"],
+                [[name, f"{seconds:.3f}"] for name, seconds in phases.items()],
+                title="Profile: phase timings",
+            )
+        )
+
+    rule_rows: List[List[str]] = []
+    other_rows: List[List[str]] = []
+    fired = {
+        name.split(".", 2)[2]: value
+        for name, value in tracer.counters.items()
+        if name.startswith("rule.fired.")
+    }
+    evaluated = {
+        name.split(".", 2)[2]: value
+        for name, value in tracer.counters.items()
+        if name.startswith("rule.evaluated.")
+    }
+    for kind in sorted(set(fired) | set(evaluated)):
+        rule_rows.append(
+            [kind, str(fired.get(kind, 0)), str(evaluated.get(kind, 0))]
+        )
+    for name, value in sorted(tracer.counters.items()):
+        if not name.startswith(("rule.fired.", "rule.evaluated.")):
+            other_rows.append([name, str(value)])
+    if rule_rows:
+        sections.append(
+            render_table(
+                ["Rule", "Fired", "Evaluated"],
+                rule_rows,
+                title="Profile: inference-rule firings",
+            )
+        )
+    if other_rows:
+        sections.append(
+            render_table(
+                ["Counter", "Value"], other_rows, title="Profile: counters"
+            )
+        )
+
+    round_events = [ev for ev in tracer.events if ev.name == "solver.round"]
+    if round_events:
+        sections.append(
+            render_table(
+                [
+                    "Round",
+                    "Rules fired",
+                    "Values added",
+                    "Flow edges",
+                    "Rel edges",
+                    "Work items",
+                    "Worklist depth",
+                ],
+                [
+                    [
+                        str(ev.attrs.get("round", "")),
+                        str(ev.attrs.get("rules_fired", "")),
+                        str(ev.attrs.get("values_added", "")),
+                        str(ev.attrs.get("flow_edges_added", "")),
+                        str(ev.attrs.get("rel_edges_added", "")),
+                        str(ev.attrs.get("work_items", "")),
+                        str(ev.attrs.get("worklist_depth", "")),
+                    ]
+                    for ev in round_events
+                ],
+                title="Profile: solver rounds",
+            )
+        )
+
+    if not sections:
+        return "Profile: no telemetry recorded"
+    return "\n\n".join(sections)

@@ -15,7 +15,9 @@ from repro.core.metrics import PrecisionMetrics, compute_precision
 from repro.corpus.apps import APP_SPECS
 from repro.corpus.generator import generate_app
 from repro.corpus.spec import AppSpec
-from repro.bench.reporting import render_table
+from repro.bench.reporting import render_table, render_telemetry
+from repro.obs import names as obs_names
+from repro.obs.tracer import Tracer
 
 HEADERS = [
     "App",
@@ -57,13 +59,26 @@ class Table2Row:
         return abs(self.metrics.receivers - self.spec.paper.receivers)
 
 
-def run_table2(app_names: Optional[Sequence[str]] = None) -> List[Table2Row]:
+def run_table2(
+    app_names: Optional[Sequence[str]] = None, tracer: Optional[Tracer] = None
+) -> List[Table2Row]:
+    """Analyze the requested corpus apps and collect Table 2 rows.
+
+    With a ``tracer`` every app is analyzed inside an ``app`` span
+    (attr ``app``), so one tracer accumulates telemetry for the whole
+    run — build/solve timings nest per app, counters aggregate.
+    """
     specs = [
         s for s in APP_SPECS if app_names is None or s.name in set(app_names)
     ]
     rows: List[Table2Row] = []
     for spec in specs:
-        result = analyze(generate_app(spec))
+        app = generate_app(spec)
+        if tracer is None:
+            result = analyze(app)
+        else:
+            with tracer.span(obs_names.SPAN_APP, app=spec.name):
+                result = analyze(app, tracer=tracer)
         rows.append(Table2Row(spec=spec, metrics=compute_precision(result)))
     return rows
 
@@ -77,8 +92,11 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
     )
 
 
-def main(app_names: Optional[Sequence[str]] = None) -> str:
-    rows = run_table2(app_names)
+def main(
+    app_names: Optional[Sequence[str]] = None, profile: bool = False
+) -> str:
+    tracer = Tracer() if profile else None
+    rows = run_table2(app_names, tracer=tracer)
     text = format_table2(rows)
     drifts = [d for row in rows if (d := row.receivers_drift()) is not None]
     if drifts:
@@ -90,4 +108,6 @@ def main(app_names: Optional[Sequence[str]] = None) -> str:
         1 for row in rows if row.metrics.receivers is not None and row.metrics.receivers < 2.0
     )
     text += f"\napps with receivers average below 2: {precise}/{len(rows)} (paper: 16/20)"
+    if tracer is not None:
+        text += "\n\n" + render_telemetry(tracer)
     return text

@@ -31,6 +31,7 @@ termination is guaranteed.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
@@ -57,6 +58,8 @@ from repro.core.nodes import (
 )
 from repro.core.results import AnalysisResult, XmlHandlerBinding
 from repro.hierarchy.cha import ClassHierarchy
+from repro.obs import names as obs_names
+from repro.obs.tracer import Tracer, active as active_tracer
 from repro.ir.program import MethodSig
 from repro.platform.api import OpKind
 from repro.platform.classes import ACTIVITY, DIALOG, VIEW
@@ -89,11 +92,15 @@ class GuiReferenceAnalysis:
     """One analysis run over one :class:`AndroidApp`."""
 
     def __init__(
-        self, app: AndroidApp, options: Optional[AnalysisOptions] = None
+        self,
+        app: AndroidApp,
+        options: Optional[AnalysisOptions] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.app = app
         self.options = options or AnalysisOptions()
-        build = build_constraint_graph(app)
+        self.tracer = tracer if tracer is not None else active_tracer()
+        build = build_constraint_graph(app, tracer=self.tracer)
         self.graph: ConstraintGraph = build.graph
         self.hierarchy: ClassHierarchy = build.hierarchy
         self.pts: Dict[Node, Set[ValueNode]] = {}
@@ -107,6 +114,12 @@ class GuiReferenceAnalysis:
         self.xml_handlers: List[XmlHandlerBinding] = []
         self.rounds = 0
         self.solve_seconds = 0.0
+        self.converged = True
+        # Lightweight solver-effort stats, maintained unconditionally
+        # (plain int bumps — no allocation) so profiling cannot change
+        # behaviour and the stats are available without a tracer.
+        self.values_added = 0
+        self.work_items = 0
 
     # -- flowsTo maintenance ---------------------------------------------------
 
@@ -119,6 +132,7 @@ class GuiReferenceAnalysis:
         if not delta:
             return False
         current |= delta
+        self.values_added += len(delta)
         self._work.append((node, delta))
         return True
 
@@ -138,6 +152,7 @@ class GuiReferenceAnalysis:
         while self._work:
             node, delta = self._work.popleft()
             changed = True
+            self.work_items += 1
             for succ in self.graph.flow_succ.get(node, ()):
                 self._add_values(succ, self._apply_filter(node, succ, delta))
         return changed
@@ -195,21 +210,32 @@ class GuiReferenceAnalysis:
     # -- solving -------------------------------------------------------------------
 
     def solve(self) -> AnalysisResult:
-        started = time.perf_counter()
-        for value in self._initial_values():
-            self._seed(value)
-        self._drain()
-        for round_index in range(self.options.max_rounds):
-            self.rounds = round_index + 1
-            changed = False
-            for op in self.graph.ops():
-                changed |= self._process_op(op)
-            if self.options.model_xml_onclick:
-                changed |= self._bind_xml_onclick()
-            changed |= self._drain()
-            if not changed:
-                break
-        self.solve_seconds = time.perf_counter() - started
+        tracer = self.tracer
+        if tracer is None:
+            self._solve()
+        else:
+            values0 = self.values_added
+            work0 = self.work_items
+            flow0 = self.graph.flow_edge_count()
+            rel0 = self._rel_edge_total()
+            with tracer.span(obs_names.PHASE_SOLVE) as span:
+                self._solve()
+                span.attrs["rounds"] = self.rounds
+                span.attrs["converged"] = self.converged
+            tracer.counter(obs_names.COUNTER_ROUNDS, self.rounds)
+            tracer.counter(
+                obs_names.COUNTER_VALUES_ADDED, self.values_added - values0
+            )
+            tracer.counter(obs_names.COUNTER_WORK_ITEMS, self.work_items - work0)
+            tracer.counter(
+                obs_names.COUNTER_FLOW_EDGES_ADDED,
+                self.graph.flow_edge_count() - flow0,
+            )
+            tracer.counter(
+                obs_names.COUNTER_REL_EDGES_ADDED, self._rel_edge_total() - rel0
+            )
+            if not self.converged:
+                tracer.counter(obs_names.COUNTER_MAX_ROUNDS_EXHAUSTED)
         return AnalysisResult(
             app=self.app,
             graph=self.graph,
@@ -222,7 +248,73 @@ class GuiReferenceAnalysis:
             menu_items_by_class={
                 k: list(v) for k, v in self.menu_items_by_class.items()
             },
+            converged=self.converged,
+            values_added=self.values_added,
+            work_items=self.work_items,
         )
+
+    def _rel_edge_total(self) -> int:
+        return sum(self.graph.rel_edge_count(kind) for kind in RelKind)
+
+    def _solve(self) -> None:
+        tracer = self.tracer
+        started = time.perf_counter()
+        for value in self._initial_values():
+            self._seed(value)
+        self._drain()
+        self.converged = False
+        for round_index in range(self.options.max_rounds):
+            self.rounds = round_index + 1
+            changed = False
+            if tracer is None:
+                for op in self.graph.ops():
+                    changed |= self._process_op(op)
+                if self.options.model_xml_onclick:
+                    changed |= self._bind_xml_onclick()
+                changed |= self._drain()
+            else:
+                round_values = self.values_added
+                round_work = self.work_items
+                round_flow = self.graph.flow_edge_count()
+                round_rel = self._rel_edge_total()
+                rules_fired = 0
+                for op in self.graph.ops():
+                    fired = self._process_op(op)
+                    tracer.counter(obs_names.RULE_EVALUATED[op.kind])
+                    if fired:
+                        tracer.counter(obs_names.RULE_FIRED[op.kind])
+                        rules_fired += 1
+                        changed = True
+                if self.options.model_xml_onclick:
+                    bindings0 = len(self.xml_handlers)
+                    changed |= self._bind_xml_onclick()
+                    bound = len(self.xml_handlers) - bindings0
+                    if bound:
+                        tracer.counter(obs_names.COUNTER_XML_ONCLICK_BOUND, bound)
+                worklist_depth = len(self._work)
+                changed |= self._drain()
+                tracer.event(
+                    obs_names.EVENT_ROUND,
+                    round=self.rounds,
+                    rules_fired=rules_fired,
+                    values_added=self.values_added - round_values,
+                    flow_edges_added=self.graph.flow_edge_count() - round_flow,
+                    rel_edges_added=self._rel_edge_total() - round_rel,
+                    work_items=self.work_items - round_work,
+                    worklist_depth=worklist_depth,
+                )
+            if not changed:
+                self.converged = True
+                break
+        if not self.converged:
+            warnings.warn(
+                f"analysis of {self.app.name!r} stopped at "
+                f"max_rounds={self.options.max_rounds} without reaching a "
+                "fixed point; the solution may be incomplete",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self.solve_seconds = time.perf_counter() - started
 
     def _initial_values(self) -> List[ValueNode]:
         values: List[ValueNode] = []
@@ -639,7 +731,16 @@ class GuiReferenceAnalysis:
 
 
 def analyze(
-    app: AndroidApp, options: Optional[AnalysisOptions] = None
+    app: AndroidApp,
+    options: Optional[AnalysisOptions] = None,
+    tracer: Optional[Tracer] = None,
 ) -> AnalysisResult:
-    """Run the full GUI reference analysis on ``app``."""
-    return GuiReferenceAnalysis(app, options).solve()
+    """Run the full GUI reference analysis on ``app``.
+
+    ``tracer`` (or an ambient tracer installed with
+    :func:`repro.obs.enable`) records build/solve spans, per-round
+    solver events, and per-rule firing counters; with no tracer the
+    instrumentation reduces to a handful of integer bumps and the
+    analysis result is bit-for-bit identical.
+    """
+    return GuiReferenceAnalysis(app, options, tracer=tracer).solve()

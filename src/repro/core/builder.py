@@ -49,6 +49,8 @@ from repro.ir.statements import (
     Store,
     UnaryOp,
 )
+from repro.obs import names as obs_names
+from repro.obs.tracer import Tracer, active as active_tracer
 from repro.platform.api import OpKind, OpSpec, classify_invoke, is_framework_callback
 from repro.platform.classes import VIEW
 
@@ -107,11 +109,22 @@ class _GraphBuilder:
 
     # -- statement translation ---------------------------------------------------
 
-    def build(self) -> BuildResult:
+    def build(self, tracer: Optional[Tracer] = None) -> BuildResult:
+        methods = 0
+        statements = 0
         for method in self.program.application_methods():
+            methods += 1
             for index, stmt in enumerate(method.body):
+                statements += 1
                 self._translate(method, index, stmt)
         self._model_activities()
+        if tracer is not None:
+            tracer.counter(obs_names.COUNTER_BUILD_METHODS, methods)
+            tracer.counter(obs_names.COUNTER_BUILD_STATEMENTS, statements)
+            tracer.counter(
+                obs_names.COUNTER_BUILD_FLOW_EDGES, self.graph.flow_edge_count()
+            )
+            tracer.counter(obs_names.COUNTER_BUILD_OPS, len(self.graph.ops()))
         return self.result
 
     def _translate(self, method: Method, index: int, stmt) -> None:
@@ -231,6 +244,21 @@ class _GraphBuilder:
                     self.result.callback_methods.append(m.sig)
 
 
-def build_constraint_graph(app: AndroidApp) -> BuildResult:
-    """Construct the initial constraint graph for ``app``."""
-    return _GraphBuilder(app).build()
+def build_constraint_graph(
+    app: AndroidApp, tracer: Optional[Tracer] = None
+) -> BuildResult:
+    """Construct the initial constraint graph for ``app``.
+
+    With a tracer (explicit or ambient via :func:`repro.obs.enable`)
+    the construction runs inside a ``build`` span annotated with the
+    graph summary, and emits the ``build.*`` counters.
+    """
+    if tracer is None:
+        tracer = active_tracer()
+    builder = _GraphBuilder(app)
+    if tracer is None:
+        return builder.build()
+    with tracer.span(obs_names.PHASE_BUILD) as span:
+        result = builder.build(tracer)
+        span.attrs.update(result.graph.summary())
+    return result

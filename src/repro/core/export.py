@@ -16,7 +16,11 @@ import json
 from typing import Dict, List, Optional, Set
 
 from repro.core.graph import ConstraintGraph, RelKind
-from repro.core.metrics import compute_graph_stats, compute_precision
+from repro.core.metrics import (
+    compute_graph_stats,
+    compute_precision,
+    compute_solver_stats,
+)
 from repro.core.nodes import (
     ActivityNode,
     AllocNode,
@@ -99,7 +103,13 @@ def result_to_json(result: AnalysisResult, indent: Optional[int] = None) -> str:
     data: Dict[str, object] = {
         "app": result.app.name,
         "rounds": result.rounds,
+        "converged": result.converged,
         "solve_seconds": result.solve_seconds,
+        "solver": {
+            k: v
+            for k, v in compute_solver_stats(result).__dict__.items()
+            if k != "app_name"
+        },
         "statistics": compute_graph_stats(result).__dict__,
         "precision": {
             k: v

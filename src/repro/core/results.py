@@ -73,6 +73,13 @@ class AnalysisResult:
     xml_handlers: List[XmlHandlerBinding] = field(default_factory=list)
     # Menu items inflated per (activity) class — menu extension.
     menu_items_by_class: Dict[str, List["MenuItemNode"]] = field(default_factory=dict)
+    # False when the solver hit ``AnalysisOptions.max_rounds`` before
+    # reaching the fixed point (the solution may be incomplete).
+    converged: bool = True
+    # Solver-effort stats (maintained with or without profiling):
+    # total insertions into ``pts`` and worklist entries drained.
+    values_added: int = 0
+    work_items: int = 0
 
     # -- flowsTo queries ----------------------------------------------------
 

@@ -1,0 +1,45 @@
+"""JSON export of a tracer's contents.
+
+The exported document follows the ``repro.obs/1`` schema documented in
+``docs/OBSERVABILITY.md``: a top-level object with ``schema``,
+``phases`` (derived per-top-level-span totals), ``spans``, ``counters``
+and ``events``. Everything is plain JSON types so the file round-trips
+through ``json.loads`` with no custom decoding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import Tracer
+
+
+def snapshot(tracer: Tracer) -> Dict[str, object]:
+    """The tracer's contents as a JSON-serialisable dict."""
+    spans: List[Dict[str, object]] = [
+        {
+            "name": span.name,
+            "start": span.start,
+            "seconds": span.seconds,
+            "parent": span.parent,
+            "attrs": dict(span.attrs),
+        }
+        for span in tracer.spans
+    ]
+    events: List[Dict[str, object]] = [
+        {"name": ev.name, "ts": ev.ts, "attrs": dict(ev.attrs)}
+        for ev in tracer.events
+    ]
+    return {
+        "schema": Tracer.SCHEMA,
+        "phases": tracer.phase_seconds(),
+        "counters": dict(sorted(tracer.counters.items())),
+        "spans": spans,
+        "events": events,
+    }
+
+
+def to_json(tracer: Tracer, indent: Optional[int] = None) -> str:
+    """Serialise the tracer as schema-versioned JSON."""
+    return json.dumps(snapshot(tracer), indent=indent, sort_keys=False)

@@ -1,0 +1,72 @@
+"""Canonical telemetry names.
+
+Every span, counter, and event the instrumentation emits is named
+here, so the schema in ``docs/OBSERVABILITY.md`` and the rule table in
+``docs/ALGORITHM.md`` have a single source of truth to reference.
+Renaming a constant here is a schema change and must be reflected in
+both documents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.platform.api import OpKind
+
+# -- phase spans (top level, one per analysis stage) -------------------------
+
+PHASE_LOAD = "load"  # frontend: project directory -> AndroidApp
+PHASE_BUILD = "build"  # constraint-graph construction (builder.py)
+PHASE_SOLVE = "solve"  # the fixed-point solver (analysis.py)
+PHASE_CLIENTS = "clients"  # Section 6 clients (tuples/transitions/checks/taint)
+SPAN_APP = "app"  # bench harness: one analyzed app (attrs: app)
+
+# -- solver events -----------------------------------------------------------
+
+# One per fixed-point round, attrs: round, rules_fired, values_added,
+# flow_edges_added, rel_edges_added, work_items, worklist_depth.
+EVENT_ROUND = "solver.round"
+
+# -- solver counters ---------------------------------------------------------
+
+COUNTER_ROUNDS = "solver.rounds"
+COUNTER_VALUES_ADDED = "solver.values_added"
+COUNTER_WORK_ITEMS = "solver.work_items"
+COUNTER_FLOW_EDGES_ADDED = "solver.flow_edges_added"
+COUNTER_REL_EDGES_ADDED = "solver.rel_edges_added"
+COUNTER_XML_ONCLICK_BOUND = "solver.xml_onclick_bound"
+# Bumped once per solve() that hit AnalysisOptions.max_rounds without
+# reaching the fixed point (the convergence warning).
+COUNTER_MAX_ROUNDS_EXHAUSTED = "solver.max_rounds_exhausted"
+
+# -- builder counters --------------------------------------------------------
+
+COUNTER_BUILD_METHODS = "build.methods"
+COUNTER_BUILD_STATEMENTS = "build.statements"
+COUNTER_BUILD_FLOW_EDGES = "build.flow_edges"
+COUNTER_BUILD_OPS = "build.ops"
+
+# -- per-inference-rule counters ---------------------------------------------
+#
+# ``rule.evaluated.<Kind>`` counts how many times the solver ran the
+# rule for an operation node of the kind (once per op per round);
+# ``rule.fired.<Kind>`` counts the evaluations that changed the
+# solution (added a value, flow edge, or relationship edge).
+
+_RULE_FIRED_PREFIX = "rule.fired."
+_RULE_EVALUATED_PREFIX = "rule.evaluated."
+
+RULE_FIRED: Dict[OpKind, str] = {
+    kind: _RULE_FIRED_PREFIX + kind.value for kind in OpKind
+}
+RULE_EVALUATED: Dict[OpKind, str] = {
+    kind: _RULE_EVALUATED_PREFIX + kind.value for kind in OpKind
+}
+
+
+def rule_fired(kind: OpKind) -> str:
+    return RULE_FIRED[kind]
+
+
+def rule_evaluated(kind: OpKind) -> str:
+    return RULE_EVALUATED[kind]

@@ -84,8 +84,10 @@ class TestAnalysisEdgeCases:
 
     def test_max_rounds_cap_respected(self):
         app = make_single_activity_app()
-        result = analyze(app, AnalysisOptions(max_rounds=1))
+        with pytest.warns(RuntimeWarning, match="without reaching a fixed point"):
+            result = analyze(app, AnalysisOptions(max_rounds=1))
         assert result.rounds == 1  # truncated (possibly incomplete) run
+        assert result.converged is False
 
     def test_self_addview_ignored(self):
         def body(m):
