@@ -9,33 +9,18 @@ classes/methods/layouts/operations and measures the full analysis.
 import pytest
 
 from repro import analyze
+from repro.bench.solverbench import (
+    compare_solvers,
+    scaled_spec as _scaled_spec,
+    update_bench,
+)
 from repro.corpus.generator import generate_app
-from repro.corpus.spec import AppSpec
 
 SCALES = [1, 2, 4, 8]
 
-
-def _scaled_spec(scale: int) -> AppSpec:
-    return AppSpec(
-        name=f"scale{scale}",
-        classes=60 * scale,
-        methods=300 * scale,
-        layout_ids=6 * scale,
-        view_ids=30 * scale,
-        views_inflated=60 * scale,
-        views_allocated=4 * scale,
-        listeners=8 * scale,
-        ops_inflate=6 * scale,
-        ops_findview=20 * scale,
-        ops_addview=3 * scale,
-        ops_setid=2 * scale,
-        ops_setlistener=8 * scale,
-        recv_avg=1.2,
-        result_avg=1.1,
-        param_avg=1.1,
-        listener_avg=1.1,
-        seed=900 + scale,
-    )
+# The largest app of the synthetic family; the naive-vs-semi-naive
+# speedup is asserted (and recorded in BENCH_solver.json) here.
+LARGEST_SCALE = 16
 
 
 @pytest.mark.parametrize("scale", SCALES)
@@ -61,3 +46,41 @@ def test_growth_is_subquadratic(benchmark):
     times = benchmark.pedantic(sweep, rounds=1, iterations=1)
     ratio = times[8] / max(times[1], 1e-4)
     assert ratio < 40, f"8x size cost {ratio:.1f}x time (expected near-linear)"
+
+
+def test_seminaive_speedup_on_largest_app(benchmark):
+    """The delta-driven scheduler must at least halve solve time on the
+    largest synthetic app; the measured records land in
+    BENCH_solver.json (schema repro.bench.solver/1)."""
+    app = generate_app(_scaled_spec(LARGEST_SCALE))
+
+    comparison = benchmark.pedantic(
+        lambda: compare_solvers(app, repeats=3), rounds=1, iterations=1
+    )
+    update_bench(scalability={f"scale{LARGEST_SCALE}": comparison})
+
+    semi = comparison["seminaive"]
+    assert semi["ops_skipped"] > 0
+    assert semi["ops_scheduled"] <= comparison["naive"]["ops_scheduled"]
+    assert comparison["speedup"] >= 2.0, (
+        f"semi-naive solve only {comparison['speedup']}x faster than naive "
+        f"on scale{LARGEST_SCALE} (expected >= 2x)"
+    )
+
+
+def test_scalability_records_written(benchmark):
+    """Every sweep scale gets its solver record into BENCH_solver.json."""
+
+    def sweep():
+        records = {}
+        for scale in SCALES:
+            app = generate_app(_scaled_spec(scale))
+            records[f"scale{scale}"] = compare_solvers(app)
+        return records
+
+    records = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    data = update_bench(scalability=records)
+    assert data["schema"] == "repro.bench.solver/1"
+    for scale in SCALES:
+        entry = data["scalability"][f"scale{scale}"]
+        assert entry["seminaive"]["ops_skipped"] > 0

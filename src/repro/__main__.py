@@ -5,7 +5,7 @@ Usage::
     python -m repro analyze PROJECT_DIR [--json] [--dot FILE] [--checks]
                                         [--taint] [--transitions] [--tuples]
                                         [--profile] [--profile-json FILE]
-                                        [--max-rounds N]
+                                        [--max-rounds N] [--solver naive|seminaive]
     python -m repro run PROJECT_DIR [--seed N]
     python -m repro disasm PROJECT_DIR [-o FILE]
 
@@ -67,7 +67,7 @@ def _run_analyze(args: argparse.Namespace, tracer) -> int:
 
     with phase("load"):
         app = _load(args.project)
-    options = AnalysisOptions()
+    options = AnalysisOptions(solver=args.solver)
     if args.max_rounds is not None:
         options.max_rounds = args.max_rounds
     result = analyze(app, options, tracer=tracer)
@@ -199,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "see docs/OBSERVABILITY.md); implies --profile")
     p_analyze.add_argument("--max-rounds", type=int, metavar="N",
                            help="override the solver's max_rounds safety valve")
+    p_analyze.add_argument("--solver", choices=("naive", "seminaive"),
+                           default="seminaive",
+                           help="fixed-point strategy: delta-driven scheduling "
+                           "(default) or the naive full sweep; both produce "
+                           "identical solutions")
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_run = sub.add_parser("run", help="execute the app in the interpreter")

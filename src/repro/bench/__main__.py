@@ -4,15 +4,22 @@ Usage::
 
     python -m repro.bench all
     python -m repro.bench table1 [APP ...]
-    python -m repro.bench table2 [--profile] [APP ...]
+    python -m repro.bench table2 [--profile] [--json] [APP ...]
     python -m repro.bench figure3
     python -m repro.bench figure4
     python -m repro.bench casestudy
     python -m repro.bench ablation [APP ...]
+    python -m repro.bench perfsmoke
 
 ``--profile`` makes the Table 2 run collect ``repro.obs`` telemetry
 (per-app/phase timings, per-rule firing counters) and append the
-report after the table.
+report after the table. ``--json`` additionally merge-writes per-app
+solver stats (solve_seconds, rounds, ops scheduled/skipped) into
+``BENCH_solver.json`` at the repo root.
+
+``perfsmoke`` is the CI scheduler regression guard: quick subset,
+fails (exit 1) if the semi-naive solver ever evaluates more rule
+instances than the naive sweep would.
 """
 
 from __future__ import annotations
@@ -24,17 +31,29 @@ from typing import List, Optional
 def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     profile = "--profile" in args
-    args = [a for a in args if a != "--profile"]
+    emit_json = "--json" in args
+    args = [a for a in args if a not in ("--profile", "--json")]
     target = args[0] if args else "all"
     apps = args[1:] or None
 
     from repro.bench import ablation, casestudy, figures, table1, table2
 
+    if target == "perfsmoke":
+        from repro.bench.solverbench import main_perfsmoke
+
+        print(main_perfsmoke())
+        return 0
+
     outputs: List[str] = []
     if target in ("table1", "all"):
         outputs.append(table1.main(apps))
     if target in ("table2", "all"):
-        outputs.append(table2.main(apps, profile=profile))
+        json_path = None
+        if emit_json:
+            from repro.bench.solverbench import DEFAULT_PATH
+
+            json_path = DEFAULT_PATH
+        outputs.append(table2.main(apps, profile=profile, json_path=json_path))
     if target in ("figure3", "all"):
         outputs.append(figures.main_figure3())
     if target in ("figure4", "all"):

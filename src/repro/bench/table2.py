@@ -7,8 +7,8 @@ are, the other three columns are not — see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro import analyze
 from repro.core.metrics import PrecisionMetrics, compute_precision
@@ -35,6 +35,8 @@ HEADERS = [
 class Table2Row:
     spec: AppSpec
     metrics: PrecisionMetrics
+    # Per-run solver stats (repro.bench.solver/1 record) for --json.
+    solver_record: Dict[str, object] = field(default_factory=dict)
 
     def as_row(self) -> List[str]:
         m, paper = self.metrics, self.spec.paper
@@ -71,6 +73,8 @@ def run_table2(
     specs = [
         s for s in APP_SPECS if app_names is None or s.name in set(app_names)
     ]
+    from repro.bench.solverbench import solver_record
+
     rows: List[Table2Row] = []
     for spec in specs:
         app = generate_app(spec)
@@ -79,7 +83,13 @@ def run_table2(
         else:
             with tracer.span(obs_names.SPAN_APP, app=spec.name):
                 result = analyze(app, tracer=tracer)
-        rows.append(Table2Row(spec=spec, metrics=compute_precision(result)))
+        rows.append(
+            Table2Row(
+                spec=spec,
+                metrics=compute_precision(result),
+                solver_record=solver_record(result),
+            )
+        )
     return rows
 
 
@@ -93,7 +103,9 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
 
 
 def main(
-    app_names: Optional[Sequence[str]] = None, profile: bool = False
+    app_names: Optional[Sequence[str]] = None,
+    profile: bool = False,
+    json_path: Optional[str] = None,
 ) -> str:
     tracer = Tracer() if profile else None
     rows = run_table2(app_names, tracer=tracer)
@@ -110,4 +122,11 @@ def main(
     text += f"\napps with receivers average below 2: {precise}/{len(rows)} (paper: 16/20)"
     if tracer is not None:
         text += "\n\n" + render_telemetry(tracer)
+    if json_path is not None:
+        from repro.bench.solverbench import update_bench
+
+        update_bench(
+            json_path, apps={row.spec.name: row.solver_record for row in rows}
+        )
+        text += f"\n\nsolver stats written to {json_path}"
     return text

@@ -26,6 +26,26 @@ edge extends ``ancestorOf`` which grows a ``FindView1`` result set), so
 operation processing and flow propagation alternate in rounds until
 nothing changes. All facts are finite and monotonically growing, so
 termination is guaranteed.
+
+Two solver modes implement the fixed point
+(``AnalysisOptions.solver``):
+
+* ``"naive"`` — the paper's specification taken literally: every round
+  re-evaluates every operation node and re-binds XML handlers from
+  scratch. Kept as the reference implementation and safety net.
+* ``"seminaive"`` (default) — delta-driven scheduling: after a first
+  full sweep, an operation rule only re-runs when one of its inputs
+  actually changed. Inputs are (a) the op's receiver/argument ports
+  (``_add_values`` marks the owning op dirty on a delta), (b) the
+  relationship-edge kinds the rule queries (a ``rel_listener`` on the
+  graph marks statically subscribed ops on each new edge), and (c)
+  dynamically discovered pointer nodes such as the return variables of
+  ``getView``/``onCreateView`` factories (registered the first time a
+  rule reads them). Every rule is monotone in exactly these inputs, so
+  skipping an op whose inputs are unchanged cannot lose facts and both
+  modes converge to the identical solution (asserted by the
+  differential test suite; ``seminaive_cross_check`` re-validates each
+  claimed fixed point with a full sweep).
 """
 
 from __future__ import annotations
@@ -80,12 +100,30 @@ class AnalysisOptions:
 
     ``max_rounds`` is a safety valve; the fixed point always converges
     long before it on realistic inputs.
+
+    ``solver`` selects the fixed-point strategy: ``"seminaive"``
+    (delta-driven scheduling, the default) or ``"naive"`` (full sweep
+    every round, the reference implementation). Both produce identical
+    solutions.
+
+    ``seminaive_cross_check`` makes the semi-naive solver validate
+    every claimed fixed point with one full naive sweep before
+    accepting it (a debug net for scheduler bugs; if the sweep finds
+    missed work it warns and keeps solving).
     """
 
     findview3_children_only_refinement: bool = True
     model_xml_onclick: bool = True
     filter_casts: bool = True
     max_rounds: int = 1000
+    solver: str = "seminaive"
+    seminaive_cross_check: bool = False
+
+    def __post_init__(self) -> None:
+        if self.solver not in ("naive", "seminaive"):
+            raise ValueError(
+                f"unknown solver {self.solver!r} (expected 'naive' or 'seminaive')"
+            )
 
 
 class GuiReferenceAnalysis:
@@ -120,6 +158,32 @@ class GuiReferenceAnalysis:
         # behaviour and the stats are available without a tracer.
         self.values_added = 0
         self.work_items = 0
+        self.ops_scheduled = 0
+        self.ops_skipped = 0
+        # -- semi-naive scheduler state -----------------------------------
+        self._seminaive = self.options.solver == "seminaive"
+        # Coalescing worklist: accumulated (not-yet-propagated) delta
+        # per node plus a FIFO of nodes with a pending delta. Deltas
+        # from the seed drain are overwhelmingly singletons; merging
+        # them per node before propagating amortises the per-edge
+        # traversal cost across the whole batch.
+        self._pending: Dict[Node, Set[ValueNode]] = {}
+        self._queue: Deque[Node] = deque()
+        # Dirty ops in mark order (dict-as-ordered-set for determinism).
+        self._dirty: Dict[OpNode, None] = {}
+        # Dynamically discovered dependencies: pointer node -> ops that
+        # read its points-to set outside their own ports.
+        self._node_deps: Dict[Node, Set[OpNode]] = {}
+        # Static subscriptions: relationship-edge kind -> ops whose
+        # rule queries edges of that kind (built at solve start).
+        # Stored as dicts so one edge notification marks every
+        # subscriber dirty with a single ``dict.update``.
+        self._rel_subs: Dict[RelKind, Dict[OpNode, None]] = {}
+        self._xml_dirty = True
+        # (value class, cast filter) -> bool memo for _apply_filter.
+        self._cast_cache: Dict[Tuple[str, str], bool] = {}
+        self.cast_cache_hits = 0
+        self.cast_cache_misses = 0
 
     # -- flowsTo maintenance ---------------------------------------------------
 
@@ -133,21 +197,46 @@ class GuiReferenceAnalysis:
             return False
         current |= delta
         self.values_added += len(delta)
-        self._work.append((node, delta))
+        if self._seminaive:
+            pending = self._pending.get(node)
+            if pending is None:
+                self._pending[node] = delta
+                self._queue.append(node)
+            else:
+                pending |= delta
+            # Delta scheduling: a changed input port dirties its op; a
+            # changed node some rule read dynamically dirties that rule.
+            if isinstance(node, (OpRecv, OpArg)):
+                self._dirty[node.op] = None
+            deps = self._node_deps.get(node)
+            if deps:
+                dirty = self._dirty
+                for op in deps:
+                    dirty[op] = None
+        else:
+            self._work.append((node, delta))
         return True
 
     def _seed(self, value: ValueNode) -> None:
         self._add_values(value, {value})
 
     def _add_flow_dynamic(self, src: Node, dst: Node) -> bool:
-        """Add a flow edge discovered during solving and propagate."""
-        changed = self.graph.add_flow(src, dst)
+        """Add a flow edge discovered during solving and propagate.
+
+        Only a *new* edge needs an explicit push of the source's
+        current points-to set: once the edge exists, every later delta
+        on ``src`` (including any still sitting in the worklist) is
+        propagated across it by the drain loop, so re-pushing the full
+        set would only recompute an empty difference."""
+        if not self.graph.add_flow(src, dst):
+            return False
         existing = self.pts.get(src)
         if existing:
-            changed |= self._add_values(dst, set(existing))
-        return changed
+            self._add_values(dst, existing)
+        return True
 
     def _drain(self) -> bool:
+        """Difference propagation for the naive mode (reference path)."""
         changed = False
         while self._work:
             node, delta = self._work.popleft()
@@ -156,6 +245,94 @@ class GuiReferenceAnalysis:
             for succ in self.graph.flow_succ.get(node, ()):
                 self._add_values(succ, self._apply_filter(node, succ, delta))
         return changed
+
+    def _drain_fast(self) -> bool:
+        """Difference propagation for the semi-naive mode.
+
+        Identical fixpoint semantics to :meth:`_drain`, with the
+        per-edge costs stripped: deltas are coalesced per node before
+        propagating (a node hit by many singleton deltas traverses its
+        out-edges once, not once per delta), successors come paired
+        with their cast filter (no filter-table lookup), filter
+        decisions are memoised per (value class, filter), and empty
+        filtered deltas are dropped without touching ``pts``."""
+        changed = False
+        queue = self._queue
+        pending = self._pending
+        pts = self.pts
+        # The graph's adjacency dict is read directly: the method call
+        # per popped node is measurable at this volume.
+        flow_out = self.graph._flow_out
+        filter_casts = self.options.filter_casts
+        filter_cached = self._filter_values_cached
+        dirty = self._dirty
+        node_deps = self._node_deps
+        empty: Tuple[Tuple[Node, Optional[str]], ...] = ()
+        while queue:
+            node = queue.popleft()
+            delta = pending.pop(node, None)
+            if delta is None:
+                # Already propagated by an earlier coalesced pop.
+                continue
+            changed = True
+            self.work_items += 1
+            for succ, type_filter in flow_out.get(node, empty):
+                # Inlined _add_values (semi-naive branch): this loop is
+                # the solver's hottest path and the call overhead alone
+                # is a double-digit share of solve time. Any semantic
+                # change here must be mirrored in _add_values.
+                if type_filter is not None and filter_casts:
+                    values = filter_cached(delta, type_filter)
+                    if not values:
+                        continue
+                else:
+                    values = delta
+                current = pts.get(succ)
+                if current is None:
+                    current = pts[succ] = set()
+                new = values - current
+                if not new:
+                    continue
+                current |= new
+                self.values_added += len(new)
+                prior = pending.get(succ)
+                if prior is None:
+                    pending[succ] = new
+                    queue.append(succ)
+                else:
+                    prior |= new
+                cls = succ.__class__
+                if cls is OpRecv or cls is OpArg:
+                    dirty[succ.op] = None
+                deps = node_deps.get(succ)
+                if deps:
+                    for op in deps:
+                        dirty[op] = None
+        return changed
+
+    def _filter_values_cached(
+        self, values: Set[ValueNode], type_filter: str
+    ) -> Set[ValueNode]:
+        """:meth:`_apply_filter` with the subtype decision memoised per
+        (value class, filter); classless values (ids) pass through."""
+        cache = self._cast_cache
+        kept: Set[ValueNode] = set()
+        for v in values:
+            cn = value_class_name(v)
+            if cn is None:
+                kept.add(v)
+                continue
+            key = (cn, type_filter)
+            ok = cache.get(key)
+            if ok is None:
+                self.cast_cache_misses += 1
+                ok = self.hierarchy.is_subtype(cn, type_filter)
+                cache[key] = ok
+            else:
+                self.cast_cache_hits += 1
+            if ok:
+                kept.add(v)
+        return kept
 
     def _apply_filter(
         self, src: Node, dst: Node, values: Set[ValueNode]
@@ -218,10 +395,15 @@ class GuiReferenceAnalysis:
             work0 = self.work_items
             flow0 = self.graph.flow_edge_count()
             rel0 = self._rel_edge_total()
+            desc_hits0 = self.graph.desc_cache_hits
+            desc_misses0 = self.graph.desc_cache_misses
+            sub_hits0 = self.hierarchy.subtype_cache_hits
+            sub_misses0 = self.hierarchy.subtype_cache_misses
             with tracer.span(obs_names.PHASE_SOLVE) as span:
                 self._solve()
                 span.attrs["rounds"] = self.rounds
                 span.attrs["converged"] = self.converged
+                span.attrs["solver"] = self.options.solver
             tracer.counter(obs_names.COUNTER_ROUNDS, self.rounds)
             tracer.counter(
                 obs_names.COUNTER_VALUES_ADDED, self.values_added - values0
@@ -233,6 +415,28 @@ class GuiReferenceAnalysis:
             )
             tracer.counter(
                 obs_names.COUNTER_REL_EDGES_ADDED, self._rel_edge_total() - rel0
+            )
+            tracer.counter(obs_names.COUNTER_OPS_SCHEDULED, self.ops_scheduled)
+            tracer.counter(obs_names.COUNTER_OPS_SKIPPED, self.ops_skipped)
+            tracer.counter(
+                obs_names.COUNTER_DESC_CACHE_HITS,
+                self.graph.desc_cache_hits - desc_hits0,
+            )
+            tracer.counter(
+                obs_names.COUNTER_DESC_CACHE_MISSES,
+                self.graph.desc_cache_misses - desc_misses0,
+            )
+            tracer.counter(
+                obs_names.COUNTER_SUBTYPE_CACHE_HITS,
+                self.hierarchy.subtype_cache_hits - sub_hits0,
+            )
+            tracer.counter(
+                obs_names.COUNTER_SUBTYPE_CACHE_MISSES,
+                self.hierarchy.subtype_cache_misses - sub_misses0,
+            )
+            tracer.counter(obs_names.COUNTER_CAST_CACHE_HITS, self.cast_cache_hits)
+            tracer.counter(
+                obs_names.COUNTER_CAST_CACHE_MISSES, self.cast_cache_misses
             )
             if not self.converged:
                 tracer.counter(obs_names.COUNTER_MAX_ROUNDS_EXHAUSTED)
@@ -251,20 +455,42 @@ class GuiReferenceAnalysis:
             converged=self.converged,
             values_added=self.values_added,
             work_items=self.work_items,
+            solver=self.options.solver,
+            ops_scheduled=self.ops_scheduled,
+            ops_skipped=self.ops_skipped,
         )
 
     def _rel_edge_total(self) -> int:
         return sum(self.graph.rel_edge_count(kind) for kind in RelKind)
 
     def _solve(self) -> None:
-        tracer = self.tracer
         started = time.perf_counter()
+        if self._seminaive:
+            self._solve_seminaive()
+        else:
+            self._solve_naive()
+        if not self.converged:
+            warnings.warn(
+                f"analysis of {self.app.name!r} stopped at "
+                f"max_rounds={self.options.max_rounds} without reaching a "
+                "fixed point; the solution may be incomplete",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self.solve_seconds = time.perf_counter() - started
+
+    def _solve_naive(self) -> None:
+        """The paper's fixed point taken literally: every round
+        re-evaluates every operation node (the reference mode)."""
+        tracer = self.tracer
         for value in self._initial_values():
             self._seed(value)
         self._drain()
         self.converged = False
+        total_ops = len(self.graph.ops())
         for round_index in range(self.options.max_rounds):
             self.rounds = round_index + 1
+            self.ops_scheduled += total_ops
             changed = False
             if tracer is None:
                 for op in self.graph.ops():
@@ -302,19 +528,163 @@ class GuiReferenceAnalysis:
                     rel_edges_added=self._rel_edge_total() - round_rel,
                     work_items=self.work_items - round_work,
                     worklist_depth=worklist_depth,
+                    ops_scheduled=total_ops,
+                    ops_skipped=0,
                 )
             if not changed:
                 self.converged = True
                 break
-        if not self.converged:
+
+    # -- semi-naive scheduling ---------------------------------------------------
+
+    def _solve_seminaive(self) -> None:
+        """Delta-driven fixed point: full sweep on the first round, then
+        only ops whose inputs changed (see the module docstring)."""
+        tracer = self.tracer
+        graph = self.graph
+        all_ops = graph.ops()
+        total_ops = len(all_ops)
+        self._build_rel_subscriptions(all_ops)
+        graph.rel_listener = self._on_rel_added
+        try:
+            for value in self._initial_values():
+                self._seed(value)
+            self._drain_fast()
+            self.converged = False
+            self._xml_dirty = True
+            for round_index in range(self.options.max_rounds):
+                self.rounds = round_index + 1
+                if round_index == 0:
+                    self._dirty.clear()
+                    batch: List[OpNode] = all_ops
+                else:
+                    batch = list(self._dirty)
+                    self._dirty.clear()
+                self.ops_scheduled += len(batch)
+                self.ops_skipped += total_ops - len(batch)
+                if tracer is None:
+                    for op in batch:
+                        self._process_op(op)
+                    if self.options.model_xml_onclick and (
+                        self._xml_dirty or round_index == 0
+                    ):
+                        self._xml_dirty = False
+                        self._bind_xml_onclick()
+                    self._drain_fast()
+                else:
+                    round_values = self.values_added
+                    round_work = self.work_items
+                    round_flow = graph.flow_edge_count()
+                    round_rel = self._rel_edge_total()
+                    rules_fired = 0
+                    for op in batch:
+                        fired = self._process_op(op)
+                        tracer.counter(obs_names.RULE_EVALUATED[op.kind])
+                        if fired:
+                            tracer.counter(obs_names.RULE_FIRED[op.kind])
+                            rules_fired += 1
+                    if self.options.model_xml_onclick and (
+                        self._xml_dirty or round_index == 0
+                    ):
+                        self._xml_dirty = False
+                        bindings0 = len(self.xml_handlers)
+                        self._bind_xml_onclick()
+                        bound = len(self.xml_handlers) - bindings0
+                        if bound:
+                            tracer.counter(
+                                obs_names.COUNTER_XML_ONCLICK_BOUND, bound
+                            )
+                    worklist_depth = len(self._queue)
+                    self._drain_fast()
+                    tracer.event(
+                        obs_names.EVENT_ROUND,
+                        round=self.rounds,
+                        rules_fired=rules_fired,
+                        values_added=self.values_added - round_values,
+                        flow_edges_added=graph.flow_edge_count() - round_flow,
+                        rel_edges_added=self._rel_edge_total() - round_rel,
+                        work_items=self.work_items - round_work,
+                        worklist_depth=worklist_depth,
+                        ops_scheduled=len(batch),
+                        ops_skipped=total_ops - len(batch),
+                    )
+                if not self._dirty and not self._xml_dirty:
+                    if self.options.seminaive_cross_check and self._cross_check_sweep():
+                        continue  # missed work found and applied; keep going
+                    self.converged = True
+                    break
+        finally:
+            graph.rel_listener = None
+
+    def _build_rel_subscriptions(self, ops: List[OpNode]) -> None:
+        """Map each relationship-edge kind to the ops whose rule reads
+        edges of that kind (the static half of the dependency index)."""
+        child_readers = (
+            OpKind.FINDVIEW1,
+            OpKind.FINDVIEW2,
+            OpKind.FINDVIEW3,
+            OpKind.GETPARENT,
+            OpKind.FRAGMENT_TX,
+        )
+        has_id_readers = (OpKind.FINDVIEW1, OpKind.FINDVIEW2, OpKind.FRAGMENT_TX)
+        root_readers = (OpKind.FINDVIEW2, OpKind.FRAGMENT_TX)
+        by_kind: Dict[RelKind, List[OpNode]] = {
+            RelKind.CHILD: [],
+            RelKind.HAS_ID: [],
+            RelKind.ROOT: [],
+        }
+        for op in ops:
+            kind = op.kind
+            if kind in child_readers:
+                by_kind[RelKind.CHILD].append(op)
+            elif kind is OpKind.SETLISTENER:
+                spec = self.graph.op_spec(op).listener
+                # Only AdapterView-style listeners walk the receiver's
+                # children (the clicked-row parameter).
+                if spec is not None and spec.item_param_index is not None:
+                    by_kind[RelKind.CHILD].append(op)
+            if kind in has_id_readers:
+                by_kind[RelKind.HAS_ID].append(op)
+            if kind in root_readers:
+                by_kind[RelKind.ROOT].append(op)
+        self._rel_subs = {
+            k: dict.fromkeys(v) for k, v in by_kind.items() if v
+        }
+
+    def _on_rel_added(self, kind: RelKind, src: Node, dst: Node) -> None:
+        """Graph notification: a new relationship edge appeared."""
+        subs = self._rel_subs.get(kind)
+        if subs:
+            self._dirty.update(subs)
+        if kind is RelKind.ROOT or kind is RelKind.CHILD:
+            # android:onClick binding walks activity hierarchies, which
+            # grow exactly when ROOT/CHILD edges appear.
+            self._xml_dirty = True
+
+    def _depend_on_node(self, node: Node, op: OpNode) -> None:
+        """Record that ``op``'s rule read ``node``'s points-to set, so
+        future deltas on ``node`` re-schedule ``op``."""
+        self._node_deps.setdefault(node, set()).add(op)
+
+    def _cross_check_sweep(self) -> bool:
+        """Debug net: run one full naive sweep at a claimed fixed point;
+        returns True (after applying the missed work) if the delta
+        scheduler had overlooked anything."""
+        changed = False
+        for op in self.graph.ops():
+            changed |= self._process_op(op)
+        self.ops_scheduled += len(self.graph.ops())
+        if self.options.model_xml_onclick:
+            changed |= self._bind_xml_onclick()
+        changed |= self._drain_fast()
+        if changed:
             warnings.warn(
-                f"analysis of {self.app.name!r} stopped at "
-                f"max_rounds={self.options.max_rounds} without reaching a "
-                "fixed point; the solution may be incomplete",
+                "semi-naive scheduler cross-check found work the dependency "
+                "index missed; solving continues but the scheduler has a bug",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=5,
             )
-        self.solve_seconds = time.perf_counter() - started
+        return changed
 
     def _initial_values(self) -> List[ValueNode]:
         values: List[ValueNode] = []
@@ -478,7 +848,14 @@ class GuiReferenceAnalysis:
                 param = self._handler_view_param(handler, spec.item_param_index)
                 if param is not None:
                     for view in views:
-                        for child in self.graph.children_of(view):
+                        children = (
+                            self.graph.rel_view(RelKind.CHILD, view)
+                            if self._seminaive
+                            else self.graph.children_of(view)
+                        )
+                        # _add_flow_dynamic adds flow edges/values only,
+                        # so iterating the live CHILD set is safe.
+                        for child in children:
                             changed |= self._add_flow_dynamic(child, param)
         return changed
 
@@ -517,6 +894,8 @@ class GuiReferenceAnalysis:
     ) -> Set[ValueNode]:
         """``find`` from the semantics: descendants (reflexively) of any
         start view whose associated ids intersect ``ids``."""
+        if self._seminaive:
+            return self._find_by_id_indexed(start_views, ids)
         results: Set[ValueNode] = set()
         if not ids:
             return results
@@ -524,6 +903,32 @@ class GuiReferenceAnalysis:
             for descendant in self.graph.descendants_of(start, include_self=True):
                 if self.graph.rel(RelKind.HAS_ID, descendant) & ids:
                     results.add(descendant)  # type: ignore[arg-type]
+        return results
+
+    def _find_by_id_indexed(
+        self, start_views: Set[ValueNode], ids: Set[ViewIdNode]
+    ) -> Set[ValueNode]:
+        """Indexed ``find``: intersect the HAS_ID inverted index (the
+        few views carrying a requested id) with the cached descendant
+        closure of each start view, instead of scanning every
+        descendant and testing its ids."""
+        results: Set[ValueNode] = set()
+        if not ids or not start_views:
+            return results
+        graph = self.graph
+        candidates: Set[Node] = set()
+        for id_node in ids:
+            candidates.update(graph.rel_back_view(RelKind.HAS_ID, id_node))
+        if not candidates:
+            return results
+        for start in start_views:
+            descendants = graph.descendants_cached(start)
+            if len(candidates) <= len(descendants):
+                results.update(c for c in candidates if c in descendants)  # type: ignore[misc]
+                if len(results) == len(candidates):
+                    break
+            else:
+                results.update(d for d in descendants if d in candidates)  # type: ignore[misc]
         return results
 
     def _op_findview1(self, op: OpNode) -> bool:
@@ -543,17 +948,27 @@ class GuiReferenceAnalysis:
             spec.children_only and self.options.findview3_children_only_refinement
         )
         results: Set[ValueNode] = set()
+        seminaive = self._seminaive
         for view in self._views(OpRecv(op)):
             if children_only:
-                results.update(self.graph.children_of(view))  # type: ignore[arg-type]
+                if seminaive:
+                    results.update(self.graph.rel_view(RelKind.CHILD, view))  # type: ignore[arg-type]
+                else:
+                    results.update(self.graph.children_of(view))  # type: ignore[arg-type]
+            elif seminaive:
+                results.update(self.graph.descendants_cached(view))  # type: ignore[arg-type]
             else:
                 results.update(self.graph.descendants_of(view, include_self=True))
         return self._add_values(op, results) if results else False
 
     def _op_getparent(self, op: OpNode) -> bool:
         results: Set[ValueNode] = set()
+        seminaive = self._seminaive
         for view in self._views(OpRecv(op)):
-            results.update(self.graph.parents_of(view))  # type: ignore[arg-type]
+            if seminaive:
+                results.update(self.graph.rel_back_view(RelKind.CHILD, view))  # type: ignore[arg-type]
+            else:
+                results.update(self.graph.parents_of(view))  # type: ignore[arg-type]
         return self._add_values(op, results) if results else False
 
     # Fragment extension (not in the paper's implementation).
@@ -565,13 +980,21 @@ class GuiReferenceAnalysis:
         return self._add_values(op, holders) if holders else False
 
     def _callback_view_roots(
-        self, value: ValueNode, method_name: str, arities: Tuple[int, ...]
+        self,
+        value: ValueNode,
+        method_name: str,
+        arities: Tuple[int, ...],
+        op: Optional[OpNode] = None,
     ) -> Set[ValueNode]:
         """Views returned by ``value``'s framework-invoked view factory
         (a fragment's ``onCreateView``, an adapter's ``getView``).
 
         Models the callback — the object flows to the factory's
         ``this`` — and collects the views its return variables hold.
+
+        When ``op`` is given (semi-naive mode), the reading op is
+        registered as a dynamic dependent of the factory's return
+        variables, so later points-to growth there reschedules it.
         """
         class_name = value_class_name(value)
         if class_name is None:
@@ -593,12 +1016,16 @@ class GuiReferenceAnalysis:
         for stmt in method.body:
             if isinstance(stmt, Return) and stmt.var is not None:
                 node = self.graph.var(method.sig, stmt.var)
+                if op is not None and self._seminaive:
+                    self._depend_on_node(node, op)
                 roots.update(v for v in self.pts.get(node, ()) if self._is_view_value(v))
         return roots
 
-    def _fragment_roots(self, fragment: ValueNode) -> Set[ValueNode]:
+    def _fragment_roots(
+        self, fragment: ValueNode, op: Optional[OpNode] = None
+    ) -> Set[ValueNode]:
         """Views returned by the fragment's onCreateView override."""
-        return self._callback_view_roots(fragment, "onCreateView", (0, 3))
+        return self._callback_view_roots(fragment, "onCreateView", (0, 3), op=op)
 
     def _op_fragment_tx(self, op: OpNode) -> bool:
         """``tx.add(containerId, fragment)``: the fragment's view
@@ -616,13 +1043,19 @@ class GuiReferenceAnalysis:
         if not fragments:
             return False
         containers: Set[ValueNode] = set()
-        for holder in holders:
-            for root in self.graph.rel(RelKind.ROOT, holder):
-                for view in self.graph.descendants_of(root):
-                    if self.graph.rel(RelKind.HAS_ID, view) & ids:
-                        containers.add(view)  # type: ignore[arg-type]
+        if self._seminaive:
+            roots: Set[ValueNode] = set()
+            for holder in holders:
+                roots.update(self.graph.rel_view(RelKind.ROOT, holder))  # type: ignore[arg-type]
+            containers = self._find_by_id_indexed(roots, ids)
+        else:
+            for holder in holders:
+                for root in self.graph.rel(RelKind.ROOT, holder):
+                    for view in self.graph.descendants_of(root):
+                        if self.graph.rel(RelKind.HAS_ID, view) & ids:
+                            containers.add(view)  # type: ignore[arg-type]
         for fragment in fragments:
-            for froot in self._fragment_roots(fragment):
+            for froot in self._fragment_roots(fragment, op=op):
                 for container in containers:
                     if container is not froot:
                         changed |= self.graph.add_rel(RelKind.CHILD, container, froot)
@@ -644,7 +1077,7 @@ class GuiReferenceAnalysis:
             return False
         parents = self._views(OpRecv(op))
         for adapter in adapters:
-            for row in self._callback_view_roots(adapter, "getView", (0, 3)):
+            for row in self._callback_view_roots(adapter, "getView", (0, 3), op=op):
                 for parent in parents:
                     if parent is not row:
                         changed |= self.graph.add_rel(RelKind.CHILD, parent, row)
@@ -701,6 +1134,8 @@ class GuiReferenceAnalysis:
     def _bind_xml_onclick(self) -> bool:
         if not self._onclick_names:
             return False
+        if self._seminaive:
+            return self._bind_xml_onclick_indexed()
         changed = False
         for act in self.graph.activities():
             for root in self.graph.rel(RelKind.ROOT, act):
@@ -710,24 +1145,51 @@ class GuiReferenceAnalysis:
                     handler_name = self._onclick_names.get(view)
                     if handler_name is None:
                         continue
-                    key = (act.class_name, view)
-                    if key in self._bound_xml:
-                        continue
-                    method = self.hierarchy.lookup(act.class_name, handler_name, 1)
-                    if method is None:
-                        continue
-                    owner = self.app.program.clazz(method.class_name)
-                    if owner is None or owner.is_platform:
-                        continue
-                    self._bound_xml.add(key)
-                    changed = True
-                    param = self.graph.var(method.sig, method.param_names[0])
-                    self._add_flow_dynamic(view, param)
-                    self._add_values(self.graph.var(method.sig, "this"), {act})
-                    self.xml_handlers.append(
-                        XmlHandlerBinding(act.class_name, view, method.sig)
-                    )
+                    changed |= self._bind_xml_handler(act, view, handler_name)
         return changed
+
+    def _bind_xml_onclick_indexed(self) -> bool:
+        """Indexed XML-onClick binding: instead of walking every
+        activity's whole view tree, test each declared ``android:onClick``
+        view (usually a handful) for membership in the cached descendant
+        closure of the activity's roots."""
+        changed = False
+        graph = self.graph
+        onclick = self._onclick_names
+        for act in graph.activities():
+            pending = [
+                (view, name)
+                for view, name in onclick.items()
+                if (act.class_name, view) not in self._bound_xml
+            ]
+            if not pending:
+                continue
+            reachable: Set[Node] = set()
+            for root in graph.rel_view(RelKind.ROOT, act):
+                reachable |= graph.descendants_cached(root)
+            for view, handler_name in pending:
+                if view in reachable:
+                    changed |= self._bind_xml_handler(act, view, handler_name)
+        return changed
+
+    def _bind_xml_handler(
+        self, act: ActivityNode, view: InflViewNode, handler_name: str
+    ) -> bool:
+        key = (act.class_name, view)
+        if key in self._bound_xml:
+            return False
+        method = self.hierarchy.lookup(act.class_name, handler_name, 1)
+        if method is None:
+            return False
+        owner = self.app.program.clazz(method.class_name)
+        if owner is None or owner.is_platform:
+            return False
+        self._bound_xml.add(key)
+        param = self.graph.var(method.sig, method.param_names[0])
+        self._add_flow_dynamic(view, param)
+        self._add_values(self.graph.var(method.sig, "this"), {act})
+        self.xml_handlers.append(XmlHandlerBinding(act.class_name, view, method.sig))
+        return True
 
 
 def analyze(

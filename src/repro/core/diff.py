@@ -1,0 +1,121 @@
+"""Canonical fingerprints for comparing analysis solutions.
+
+The semi-naive scheduler must be *observationally identical* to the
+naive sweep: same ``flowsTo`` sets, same relationship edges, same
+XML-handler bindings, same precision metrics. The two modes do differ
+in artifacts a client can never observe:
+
+* **Empty points-to entries** — the naive drain materialises an empty
+  set for a node before computing the (empty) delta; the fast drain
+  skips the insertion. ``AnalysisResult.values_at`` returns ``set()``
+  either way, so fingerprints ignore empty entries.
+* **List orderings** — ``xml_handlers`` and per-class menu items are
+  appended in rule-evaluation order, which the scheduler changes.
+  Clients consume them as sets (``gui_tuples`` deduplicates), so
+  fingerprints compare sorted canonical forms.
+
+Everything else must match exactly, and :func:`diff_solutions` reports
+the first few discrepancies with enough context to debug a scheduler
+bug.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.graph import RelKind
+from repro.core.metrics import compute_precision
+from repro.core.results import AnalysisResult
+
+# Bump when the fingerprint shape changes.
+SCHEMA = "repro.diff/1"
+
+
+def solution_fingerprint(result: AnalysisResult) -> Dict[str, object]:
+    """A canonical, order-independent digest of the full solution."""
+    pts = {
+        str(node): tuple(sorted(str(v) for v in values))
+        for node, values in result.pts.items()
+        if values
+    }
+    rels: Dict[str, Tuple[str, ...]] = {}
+    for kind in RelKind:
+        edges = sorted(
+            f"{src} -> {dst}" for src, dst in result.graph.rel_edges(kind)
+        )
+        rels[kind.name] = tuple(edges)
+    flows = tuple(
+        sorted(f"{src} -> {dst}" for src, dst in result.graph.flow_edges())
+    )
+    xml = tuple(
+        sorted(
+            f"{b.activity_class}: {b.view} -> {b.handler}"
+            for b in result.xml_handlers
+        )
+    )
+    menus = {
+        class_name: tuple(sorted(str(item) for item in items))
+        for class_name, items in result.menu_items_by_class.items()
+        if items
+    }
+    precision = compute_precision(result)
+    return {
+        "schema": SCHEMA,
+        "app": result.app.name,
+        "converged": result.converged,
+        "pts": pts,
+        "rels": rels,
+        "flows": flows,
+        "xml_handlers": xml,
+        "menu_items": menus,
+        "precision": {
+            "receivers": precision.receivers,
+            "parameters": precision.parameters,
+            "results": precision.results,
+            "listeners": precision.listeners,
+        },
+    }
+
+
+def diff_solutions(
+    a: Dict[str, object], b: Dict[str, object], limit: int = 10
+) -> List[str]:
+    """Human-readable discrepancies between two fingerprints.
+
+    Empty when the solutions are observationally identical.
+    """
+    problems: List[str] = []
+
+    def note(message: str) -> None:
+        if len(problems) < limit:
+            problems.append(message)
+
+    for key in ("converged", "flows", "xml_handlers", "precision"):
+        if a[key] != b[key]:
+            note(f"{key}: {a[key]!r} != {b[key]!r}")
+
+    pts_a: Dict[str, Tuple[str, ...]] = a["pts"]  # type: ignore[assignment]
+    pts_b: Dict[str, Tuple[str, ...]] = b["pts"]  # type: ignore[assignment]
+    for node in sorted(pts_a.keys() | pts_b.keys()):
+        va, vb = pts_a.get(node, ()), pts_b.get(node, ())
+        if va != vb:
+            only_a = sorted(set(va) - set(vb))
+            only_b = sorted(set(vb) - set(va))
+            note(f"pts[{node}]: only-first={only_a} only-second={only_b}")
+
+    rels_a: Dict[str, Tuple[str, ...]] = a["rels"]  # type: ignore[assignment]
+    rels_b: Dict[str, Tuple[str, ...]] = b["rels"]  # type: ignore[assignment]
+    for kind in sorted(rels_a.keys() | rels_b.keys()):
+        ea, eb = set(rels_a.get(kind, ())), set(rels_b.get(kind, ()))
+        if ea != eb:
+            note(
+                f"rels[{kind}]: only-first={sorted(ea - eb)} "
+                f"only-second={sorted(eb - ea)}"
+            )
+
+    menus_a: Dict[str, Tuple[str, ...]] = a["menu_items"]  # type: ignore[assignment]
+    menus_b: Dict[str, Tuple[str, ...]] = b["menu_items"]  # type: ignore[assignment]
+    if menus_a != menus_b:
+        note(f"menu_items: {menus_a!r} != {menus_b!r}")
+
+    return problems

@@ -13,13 +13,26 @@ Two edge families, following Section 4.1:
 Relationship edges grow during the fixed point (e.g. a new
 parent-child edge appears when a parent/child pair reaches an
 ``AddView2`` node); the graph exposes mutation methods returning
-whether anything changed so the solver can drive its worklist.
+whether anything changed so the solver can drive its worklist, and an
+optional ``rel_listener`` callback that fires once per *new*
+relationship edge so the semi-naive solver can schedule exactly the
+operation nodes whose inputs changed.
+
+Two query structures exist specifically for the solver's hot path:
+
+* ``flow_out(node)`` — the successor list with each edge's cast filter
+  attached, so propagation does not pay a per-edge dictionary lookup;
+* ``descendants_cached(view)`` — the reflexive CHILD-closure backed by
+  an incrementally maintained cache. Inserting a CHILD edge
+  ``p -> c`` extends every cached set containing ``p`` with the
+  closure of ``c`` (edges are never removed, so extension — never
+  invalidation — keeps all entries exact).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.nodes import (
     ActivityNode,
@@ -57,6 +70,9 @@ class RelKind(enum.Enum):
         return self.value
 
 
+_EMPTY_NODE_SET: FrozenSet[Node] = frozenset()
+
+
 class ConstraintGraph:
     """Mutable constraint graph with node interning.
 
@@ -71,9 +87,23 @@ class ConstraintGraph:
         self.flow_pred: Dict[Node, List[Node]] = {}
         self._flow_edge_set: Set[Tuple[Node, Node]] = set()
         self._flow_filters: Dict[Tuple[Node, Node], str] = {}
+        # Successors with the edge's cast filter attached, the solver's
+        # propagation hot path (avoids a dict lookup per edge visit).
+        self._flow_out: Dict[Node, List[Tuple[Node, Optional[str]]]] = {}
         # Relationship edges, forward and backward.
         self._rel: Dict[RelKind, Dict[Node, Set[Node]]] = {k: {} for k in RelKind}
         self._rel_back: Dict[RelKind, Dict[Node, Set[Node]]] = {k: {} for k in RelKind}
+        # Called once per *new* relationship edge (kind, src, dst);
+        # installed by the semi-naive solver for delta scheduling.
+        self.rel_listener: Optional[Callable[[RelKind, Node, Node], None]] = None
+        # Incrementally maintained reflexive CHILD-closure cache:
+        # root -> descendant set, plus the inverted membership index
+        # (node -> cached roots whose set contains it) that makes
+        # delta-extension on CHILD insertion cheap.
+        self._desc_cache: Dict[Node, Set[Node]] = {}
+        self._desc_containing: Dict[Node, Set[Node]] = {}
+        self.desc_cache_hits = 0
+        self.desc_cache_misses = 0
         # Interning tables.
         self._vars: Dict[Tuple[MethodSig, str], VarNode] = {}
         self._fields: Dict[Tuple[str, str], FieldNode] = {}
@@ -277,6 +307,7 @@ class ConstraintGraph:
         self._flow_edge_set.add(key)
         self.flow_succ.setdefault(src, []).append(dst)
         self.flow_pred.setdefault(dst, []).append(src)
+        self._flow_out.setdefault(src, []).append((dst, type_filter))
         if type_filter is not None:
             self._flow_filters[key] = type_filter
         self._register(src)
@@ -286,6 +317,11 @@ class ConstraintGraph:
     def flow_filter(self, src: Node, dst: Node) -> Optional[str]:
         """The type filter on edge ``src → dst``, if any."""
         return self._flow_filters.get((src, dst))
+
+    def flow_out(self, node: Node) -> Sequence[Tuple[Node, Optional[str]]]:
+        """``(successor, cast filter)`` pairs for every edge out of
+        ``node`` — the propagation hot path. Read-only."""
+        return self._flow_out.get(node, ())
 
     def has_flow(self, src: Node, dst: Node) -> bool:
         return (src, dst) in self._flow_edge_set
@@ -299,7 +335,12 @@ class ConstraintGraph:
     # -- relationship edges ---------------------------------------------------------
 
     def add_rel(self, kind: RelKind, src: Node, dst: Node) -> bool:
-        """Add ``src ⇒ dst`` with label ``kind``; True when new."""
+        """Add ``src ⇒ dst`` with label ``kind``; True when new.
+
+        New CHILD edges extend the descendant cache before the
+        ``rel_listener`` notification fires, so a listener observing
+        the edge already sees consistent closure queries.
+        """
         forward = self._rel[kind].setdefault(src, set())
         if dst in forward:
             return False
@@ -307,6 +348,10 @@ class ConstraintGraph:
         self._rel_back[kind].setdefault(dst, set()).add(src)
         self._register(src)
         self._register(dst)
+        if kind is RelKind.CHILD:
+            self._extend_descendant_cache(src, dst)
+        if self.rel_listener is not None:
+            self.rel_listener(kind, src, dst)
         return True
 
     def rel(self, kind: RelKind, src: Node) -> Set[Node]:
@@ -314,6 +359,19 @@ class ConstraintGraph:
 
     def rel_back(self, kind: RelKind, dst: Node) -> Set[Node]:
         return set(self._rel_back[kind].get(dst, ()))
+
+    def rel_view(self, kind: RelKind, src: Node) -> FrozenSet[Node]:
+        """Like :meth:`rel` but returns the internal (live) set without
+        copying. Callers must not mutate it and must not add edges of
+        the same kind while iterating."""
+        return self._rel[kind].get(src, _EMPTY_NODE_SET)  # type: ignore[return-value]
+
+    def rel_back_view(self, kind: RelKind, dst: Node) -> FrozenSet[Node]:
+        """Non-copying :meth:`rel_back`; same caveats as :meth:`rel_view`.
+
+        For ``HAS_ID`` this is the id→views inverted index the solver's
+        ``FindView`` rules intersect against."""
+        return self._rel_back[kind].get(dst, _EMPTY_NODE_SET)  # type: ignore[return-value]
 
     def has_rel(self, kind: RelKind, src: Node, dst: Node) -> bool:
         return dst in self._rel[kind].get(src, ())
@@ -348,7 +406,11 @@ class ConstraintGraph:
 
     def descendants_of(self, view: Node, include_self: bool = True) -> Set[Node]:
         """Reflexive-transitive closure over CHILD edges (``ancestorOf``
-        read backwards: returned set = all v with view ancestorOf v)."""
+        read backwards: returned set = all v with view ancestorOf v).
+
+        Walks the graph on every call — the reference implementation,
+        also used by the naive solver mode. Hot-path callers use
+        :meth:`descendants_cached` instead."""
         seen: Set[Node] = set()
         work: List[Node] = [view]
         while work:
@@ -361,9 +423,57 @@ class ConstraintGraph:
             seen.discard(view)
         return seen
 
+    def descendants_cached(self, view: Node) -> Set[Node]:
+        """The reflexive descendant set of ``view``, cache-backed.
+
+        Returns the internal cached set — callers must treat it as
+        read-only. The cache stays exact across later ``add_rel``
+        calls: CHILD edges only ever extend closures (nothing is
+        removed), and :meth:`_extend_descendant_cache` applies the
+        extension at insertion time."""
+        cached = self._desc_cache.get(view)
+        if cached is not None:
+            self.desc_cache_hits += 1
+            return cached
+        self.desc_cache_misses += 1
+        cached = self.descendants_of(view, include_self=True)
+        self._desc_cache[view] = cached
+        containing = self._desc_containing
+        for member in cached:
+            containing.setdefault(member, set()).add(view)
+        return cached
+
+    def _extend_descendant_cache(self, parent: Node, child: Node) -> None:
+        """Extend cached closures for a new CHILD edge ``parent -> child``.
+
+        Any new path enabled by the edge factors as
+        ``root ->* parent -> child ->* target``, so a cached set gains
+        exactly ``{child} ∪ reach(child)`` — and only if it already
+        contains ``parent``. ``reach(child)`` itself is unchanged by
+        the insertion (new paths from ``child`` revisit only nodes it
+        already reached), so a pre-existing cached entry for ``child``
+        stays valid and can serve as the extension set."""
+        containing = self._desc_containing.get(parent)
+        if not containing:
+            return
+        addition = self._desc_cache.get(child)
+        if addition is None:
+            addition = self.descendants_of(child, include_self=True)
+        for root in list(containing):
+            cached = self._desc_cache.get(root)
+            if cached is None:  # pragma: no cover - index only holds cached roots
+                continue
+            new = addition - cached
+            if not new:
+                continue
+            cached |= new
+            containing_index = self._desc_containing
+            for member in new:
+                containing_index.setdefault(member, set()).add(root)
+
     def ancestor_of(self, view1: Node, view2: Node) -> bool:
         """The paper's ``ancestorOf`` relation (reflexive)."""
-        return view2 in self.descendants_of(view1)
+        return view2 in self.descendants_cached(view1)
 
     # -- summary -----------------------------------------------------------------
 

@@ -120,6 +120,9 @@ class SolverStats:
     work_items: int
     flow_edges: int
     rel_edges: int
+    solver: str = "seminaive"
+    ops_scheduled: int = 0
+    ops_skipped: int = 0
 
     def as_row(self) -> List[str]:
         return [
@@ -146,6 +149,9 @@ def compute_solver_stats(result: AnalysisResult) -> SolverStats:
         work_items=result.work_items,
         flow_edges=graph.flow_edge_count(),
         rel_edges=sum(graph.rel_edge_count(kind) for kind in RelKind),
+        solver=result.solver,
+        ops_scheduled=result.ops_scheduled,
+        ops_skipped=result.ops_skipped,
     )
 
 

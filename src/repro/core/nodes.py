@@ -11,7 +11,11 @@ Nodes split into two families:
   act as listeners.)
 
 All node classes are frozen dataclasses so they are hashable and can be
-interned by the graph.
+interned by the graph. Their hashes are cached per instance
+(:func:`_cached_hash`): nodes are immutable, nest recursively
+(``OpArg`` → ``OpNode`` → ``Site`` → ``MethodSig``), and the solver
+hashes them millions of times during set propagation — recomputing the
+recursive field-tuple hash on every lookup dominates solve time.
 """
 
 from __future__ import annotations
@@ -23,6 +27,28 @@ from repro.ir.program import MethodSig
 from repro.platform.api import OpKind, OpSpec
 
 
+def _cached_hash(cls):
+    """Class decorator: memoise the dataclass-generated ``__hash__``.
+
+    Safe exactly because instances are frozen: the hash can never
+    change after construction. ``object.__setattr__`` bypasses the
+    frozen-dataclass write guard for the one-time memo store.
+    """
+    base_hash = cls.__hash__
+
+    def __hash__(self):
+        try:
+            return self._hash_memo
+        except AttributeError:
+            memo = base_hash(self)
+            object.__setattr__(self, "_hash_memo", memo)
+            return memo
+
+    cls.__hash__ = __hash__
+    return cls
+
+
+@_cached_hash
 @dataclass(frozen=True)
 class Site:
     """A static program point: method, statement index, source line."""
@@ -43,6 +69,7 @@ class Node:
     __slots__ = ()
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class VarNode(Node):
     """A local variable of a method (including ``this`` and parameters)."""
@@ -54,6 +81,7 @@ class VarNode(Node):
         return f"{self.method.class_name.rsplit('.', 1)[-1]}.{self.method.name}${self.name}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class FieldNode(Node):
     """An instance field, field-based: one node per field declaration."""
@@ -65,6 +93,7 @@ class FieldNode(Node):
         return f"{self.class_name.rsplit('.', 1)[-1]}.{self.field_name}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class StaticFieldNode(Node):
     """A static field."""
@@ -76,6 +105,7 @@ class StaticFieldNode(Node):
         return f"{self.class_name.rsplit('.', 1)[-1]}.{self.field_name}(static)"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class AllocNode(Node):
     """An allocation site ``x := new C``.
@@ -93,6 +123,7 @@ class AllocNode(Node):
         return f"{simple}_{self.site.line if self.site.line is not None else self.site.index}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class ActivityNode(Node):
     """The platform-created instance(s) of an activity class."""
@@ -103,6 +134,7 @@ class ActivityNode(Node):
         return self.class_name.rsplit(".", 1)[-1]
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class LayoutIdNode(Node):
     """An ``R.layout`` constant."""
@@ -114,6 +146,7 @@ class LayoutIdNode(Node):
         return f"R.layout.{self.name}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class ViewIdNode(Node):
     """An ``R.id`` constant."""
@@ -125,6 +158,7 @@ class ViewIdNode(Node):
         return f"R.id.{self.name}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class MenuIdNode(Node):
     """An ``R.menu`` constant (menu extension)."""
@@ -136,6 +170,7 @@ class MenuIdNode(Node):
         return f"R.menu.{self.name}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class MenuItemNode(Node):
     """A menu item created by inflating a menu at one site (extension).
@@ -154,6 +189,7 @@ class MenuItemNode(Node):
         return f"MenuItem_{where}.{suffix}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class OpNode(Node):
     """An operation node for one classified call site.
@@ -170,6 +206,7 @@ class OpNode(Node):
         return f"{self.kind.value}_{self.site.line if self.site.line is not None else self.site.index}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class OpRecv(Node):
     """The receiver input port of an operation node."""
@@ -180,6 +217,7 @@ class OpRecv(Node):
         return f"{self.op}.recv"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class OpArg(Node):
     """An argument input port of an operation node."""
@@ -191,6 +229,7 @@ class OpArg(Node):
         return f"{self.op}.arg{self.index}"
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class InflViewNode(Node):
     """A view created by inflating one layout node at one inflation site.

@@ -80,6 +80,12 @@ class AnalysisResult:
     # total insertions into ``pts`` and worklist entries drained.
     values_added: int = 0
     work_items: int = 0
+    # Which fixed-point scheduler produced this solution, and how many
+    # rule evaluations it ran vs. proved unnecessary (see
+    # docs/ALGORITHM.md, "Semi-naive scheduling").
+    solver: str = "seminaive"
+    ops_scheduled: int = 0
+    ops_skipped: int = 0
 
     # -- flowsTo queries ----------------------------------------------------
 

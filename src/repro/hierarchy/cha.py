@@ -24,6 +24,11 @@ class ClassHierarchy:
         self._supertypes: Dict[str, FrozenSet[str]] = {}
         self._subtypes: Dict[str, Set[str]] = {}
         self._dispatch_cache: Dict[Tuple[str, str, int], Optional[Method]] = {}
+        # (sub, sup) -> bool memo for is_subtype; the hierarchy is
+        # immutable after construction so entries never go stale.
+        self._subtype_cache: Dict[Tuple[str, str], bool] = {}
+        self.subtype_cache_hits = 0
+        self.subtype_cache_misses = 0
         for name in program.classes:
             supers = self._compute_supertypes(name)
             self._supertypes[name] = supers
@@ -63,10 +68,22 @@ class ClassHierarchy:
         return result
 
     def is_subtype(self, sub: str, sup: str) -> bool:
-        """Is ``sub`` the same as or a transitive subtype of ``sup``?"""
+        """Is ``sub`` the same as or a transitive subtype of ``sup``?
+
+        Memoised per (sub, sup): the solver's cast filtering and value
+        classification issue the same handful of queries millions of
+        times on large apps."""
         if sub == sup:
             return True
-        return sup in self.supertypes(sub)
+        key = (sub, sup)
+        cached = self._subtype_cache.get(key)
+        if cached is not None:
+            self.subtype_cache_hits += 1
+            return cached
+        self.subtype_cache_misses += 1
+        result = sup in self.supertypes(sub)
+        self._subtype_cache[key] = result
+        return result
 
     def superclass_chain(self, name: str) -> List[str]:
         """``name`` and its superclasses, most-derived first."""

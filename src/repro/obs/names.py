@@ -39,6 +39,27 @@ COUNTER_XML_ONCLICK_BOUND = "solver.xml_onclick_bound"
 # reaching the fixed point (the convergence warning).
 COUNTER_MAX_ROUNDS_EXHAUSTED = "solver.max_rounds_exhausted"
 
+# -- scheduler counters (semi-naive solver) ----------------------------------
+#
+# ``ops_scheduled`` counts rule evaluations actually run; ``ops_skipped``
+# counts evaluations the naive sweep would have run but the dependency
+# index proved unnecessary (no input changed). Under ``--solver naive``
+# ops_skipped is always 0 and ops_scheduled == rounds * |ops|.
+
+COUNTER_OPS_SCHEDULED = "solver.ops_scheduled"
+COUNTER_OPS_SKIPPED = "solver.ops_skipped"
+
+# -- index/cache hit-rate counters -------------------------------------------
+#
+# Emitted once per solve() with the totals accumulated during that run.
+
+COUNTER_DESC_CACHE_HITS = "graph.descendant_cache_hits"
+COUNTER_DESC_CACHE_MISSES = "graph.descendant_cache_misses"
+COUNTER_SUBTYPE_CACHE_HITS = "cha.subtype_cache_hits"
+COUNTER_SUBTYPE_CACHE_MISSES = "cha.subtype_cache_misses"
+COUNTER_CAST_CACHE_HITS = "solver.cast_cache_hits"
+COUNTER_CAST_CACHE_MISSES = "solver.cast_cache_misses"
+
 # -- builder counters --------------------------------------------------------
 
 COUNTER_BUILD_METHODS = "build.methods"

@@ -113,3 +113,134 @@ class TestRelEdges:
         summary = graph.summary()
         assert summary["flow_edges"] == 1
         assert summary["nodes"] >= 2
+
+
+class TestHasIdInvertedIndex:
+    """rel_back_view(HAS_ID, id) is the id→views inverted index the
+    semi-naive FindView rules intersect against."""
+
+    def _view(self, graph, index):
+        site = Site(SIG, 0, 1)
+        return graph.infl_view(site, "m", (index,), "android.view.View", None)
+
+    def test_index_tracks_interleaved_add_rel(self, graph):
+        ok = graph.view_id("ok", 1)
+        cancel = graph.view_id("cancel", 2)
+        v1, v2, v3 = (self._view(graph, i) for i in range(3))
+        graph.add_rel(RelKind.HAS_ID, v1, ok)
+        assert graph.rel_back_view(RelKind.HAS_ID, ok) == {v1}
+        # Interleave other kinds and ids; the index must stay exact.
+        graph.add_rel(RelKind.CHILD, v1, v2)
+        graph.add_rel(RelKind.HAS_ID, v2, cancel)
+        graph.add_rel(RelKind.HAS_ID, v3, ok)
+        graph.add_rel(RelKind.LISTENER, v2, v3)
+        assert graph.rel_back_view(RelKind.HAS_ID, ok) == {v1, v3}
+        assert graph.rel_back_view(RelKind.HAS_ID, cancel) == {v2}
+        # Duplicate insertion must not disturb the index.
+        assert not graph.add_rel(RelKind.HAS_ID, v1, ok)
+        assert graph.rel_back_view(RelKind.HAS_ID, ok) == {v1, v3}
+
+    def test_index_agrees_with_rel_back(self, graph):
+        ok = graph.view_id("ok", 1)
+        views = [self._view(graph, i) for i in range(5)]
+        for v in views:
+            graph.add_rel(RelKind.HAS_ID, v, ok)
+        assert graph.rel_back_view(RelKind.HAS_ID, ok) == graph.rel_back(
+            RelKind.HAS_ID, ok
+        )
+
+    def test_missing_id_is_empty(self, graph):
+        assert graph.rel_back_view(RelKind.HAS_ID, graph.view_id("x", 9)) == set()
+
+
+class TestDescendantCache:
+    def _tree(self, graph, n):
+        site = Site(SIG, 0, 1)
+        return [
+            graph.infl_view(site, "m", (i,), "android.view.ViewGroup", None)
+            for i in range(n)
+        ]
+
+    def test_cache_matches_walk(self, graph):
+        a, b, c, d = self._tree(graph, 4)
+        graph.add_rel(RelKind.CHILD, a, b)
+        graph.add_rel(RelKind.CHILD, b, c)
+        graph.add_rel(RelKind.CHILD, a, d)
+        assert graph.descendants_cached(a) == graph.descendants_of(a)
+        assert graph.descendants_cached(c) == {c}
+
+    def test_cache_extends_on_posthoc_deep_insertion(self, graph):
+        """A CHILD edge inserted deep in an existing (already cached)
+        tree must appear in every cached ancestor closure."""
+        a, b, c, d, e = self._tree(graph, 5)
+        graph.add_rel(RelKind.CHILD, a, b)
+        graph.add_rel(RelKind.CHILD, b, c)
+        # Populate caches for every level first.
+        for view in (a, b, c):
+            graph.descendants_cached(view)
+        # Post-hoc: hang a subtree (d -> e built first, then attached).
+        graph.add_rel(RelKind.CHILD, d, e)
+        graph.descendants_cached(d)
+        graph.add_rel(RelKind.CHILD, c, d)
+        for view, expected in (
+            (a, {a, b, c, d, e}),
+            (b, {b, c, d, e}),
+            (c, {c, d, e}),
+            (d, {d, e}),
+        ):
+            assert graph.descendants_cached(view) == expected
+            assert graph.descendants_cached(view) == graph.descendants_of(view)
+
+    def test_cache_extension_tolerates_cycles(self, graph):
+        a, b, c = self._tree(graph, 3)
+        graph.add_rel(RelKind.CHILD, a, b)
+        graph.descendants_cached(a)
+        graph.add_rel(RelKind.CHILD, b, c)
+        graph.add_rel(RelKind.CHILD, c, a)  # cycle back to the root
+        assert graph.descendants_cached(a) == {a, b, c}
+        assert graph.descendants_cached(a) == graph.descendants_of(a)
+
+    def test_ancestor_of_uses_cache(self, graph):
+        a, b, c = self._tree(graph, 3)
+        graph.add_rel(RelKind.CHILD, a, b)
+        assert graph.ancestor_of(a, b)
+        # Edge added after the cached query must be visible.
+        graph.add_rel(RelKind.CHILD, b, c)
+        assert graph.ancestor_of(a, c)
+        assert not graph.ancestor_of(c, b)
+
+    def test_cache_counters_move(self, graph):
+        a, b = self._tree(graph, 2)
+        graph.add_rel(RelKind.CHILD, a, b)
+        misses0, hits0 = graph.desc_cache_misses, graph.desc_cache_hits
+        graph.descendants_cached(a)
+        graph.descendants_cached(a)
+        assert graph.desc_cache_misses == misses0 + 1
+        assert graph.desc_cache_hits == hits0 + 1
+
+
+class TestRelListener:
+    def test_listener_sees_every_new_edge(self, graph):
+        seen = []
+        graph.rel_listener = lambda kind, src, dst: seen.append((kind, src, dst))
+        a = graph.activity("app.A")
+        x = graph.var(SIG, "x")
+        graph.add_rel(RelKind.ROOT, a, x)
+        graph.add_rel(RelKind.ROOT, a, x)  # duplicate: no notification
+        assert seen == [(RelKind.ROOT, a, x)]
+
+    def test_listener_sees_consistent_descendant_cache(self, graph):
+        """The CHILD cache extension runs before the notification, so a
+        listener reacting to the edge can already query the closure."""
+        site = Site(SIG, 0, 1)
+        p = graph.infl_view(site, "m", (), "android.view.ViewGroup", None)
+        c = graph.infl_view(site, "m", (0,), "android.view.View", None)
+        graph.descendants_cached(p)
+        observed = []
+
+        def listener(kind, src, dst):
+            observed.append(set(graph.descendants_cached(p)))
+
+        graph.rel_listener = listener
+        graph.add_rel(RelKind.CHILD, p, c)
+        assert observed == [{p, c}]
