@@ -8,6 +8,12 @@ checker built on the reference analysis:
 * a duplicate view id making a lookup ambiguous;
 * a listener object that is never registered on any view.
 
+(The checkers are implemented by the lint engine in ``repro.lint`` —
+five registered rules GUI001-GUI005; this example exercises four of
+them through the legacy ``run_error_checks`` interface. For rule ids,
+severities, witness paths, and SARIF export, see ``docs/LINT.md`` and
+``examples/projects/buggy``, which plants one defect per rule.)
+
 Run:  python examples/error_checking.py
 """
 

@@ -6,6 +6,12 @@ Usage::
                                         [--taint] [--transitions] [--tuples]
                                         [--profile] [--profile-json FILE]
                                         [--max-rounds N] [--solver naive|seminaive]
+    python -m repro lint PROJECT_DIR [--rules IDS] [--disable IDS]
+                                     [--severity error|warning]
+                                     [--format text|json|sarif] [--output FILE]
+                                     [--explain UID] [--baseline FILE]
+                                     [--suppress FILE] [--no-witness]
+                                     [--solver naive|seminaive] [--profile]
     python -m repro run PROJECT_DIR [--seed N]
     python -m repro disasm PROJECT_DIR [-o FILE]
 
@@ -133,6 +139,114 @@ def _run_analyze(args: argparse.Namespace, tracer) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_lib
+
+    from repro import analyze
+    from repro.core.analysis import AnalysisOptions
+    from repro.lint import (
+        LintOptions,
+        diff_baseline,
+        render_text,
+        run_lint,
+        to_json,
+        to_sarif,
+        validate_sarif,
+    )
+    from repro.lint.rules import Severity, rule_by_id
+
+    tracer = None
+    if args.profile:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
+    app = _load(args.project)
+    # Witness paths need derivation provenance from the solver.
+    options = AnalysisOptions(solver=args.solver, provenance=not args.no_witness)
+    result = analyze(app, options, tracer=tracer)
+
+    lint_options = LintOptions(witness=not args.no_witness)
+    if args.rules:
+        lint_options.rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    if args.disable:
+        lint_options.disabled = [
+            r.strip() for r in args.disable.split(",") if r.strip()
+        ]
+    if args.severity:
+        lint_options.min_severity = Severity(args.severity)
+    if args.suppress:
+        with open(args.suppress, encoding="utf-8") as f:
+            lint_options.suppress_text = f.read()
+    try:
+        report = run_lint(result, lint_options, tracer=tracer)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.explain:
+        finding = report.finding(args.explain)
+        if finding is None:
+            print(f"error: no finding with uid {args.explain!r}", file=sys.stderr)
+            return 2
+        rule = rule_by_id(finding.rule_id)
+        print(finding)
+        if rule is not None:
+            print(f"  rule: {rule.id} ({rule.name}), severity {rule.severity}")
+            print(f"  rationale: {rule.rationale}")
+        if finding.witness:
+            print("  witness (premises first, conclusion last):")
+            for line in finding.witness:
+                print("  " + line)
+        else:
+            print("  (no witness path: run without --no-witness)")
+        return 0
+
+    if args.format == "json":
+        output = json_lib.dumps(to_json(report), indent=2, sort_keys=True)
+    elif args.format == "sarif":
+        sarif = to_sarif(report)
+        problems = validate_sarif(sarif)
+        if problems:  # pragma: no cover - exporter/validator must agree
+            for problem in problems:
+                print(f"sarif: {problem}", file=sys.stderr)
+            return 2
+        output = json_lib.dumps(sarif, indent=2, sort_keys=True)
+    else:
+        output = render_text(report, witness=not args.no_witness)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(output + "\n")
+        print(f"lint report written to {args.output}")
+    else:
+        print(output)
+
+    if tracer is not None:
+        from repro.bench.reporting import render_telemetry
+
+        print()
+        print(render_telemetry(tracer))
+
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json_lib.load(f)
+        try:
+            new, fixed = diff_baseline(report, baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"baseline: {len(new)} new finding(s), {len(fixed)} fixed",
+            file=sys.stderr,
+        )
+        for finding in new:
+            print(f"  new: {finding}", file=sys.stderr)
+        for uid in fixed:
+            print(f"  fixed: {uid}", file=sys.stderr)
+        return 1 if new else 0
+    return 1 if report.findings else 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro import analyze
     from repro.semantics import check_soundness, run_app
@@ -205,6 +319,43 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default) or the naive full sweep; both produce "
                            "identical solutions")
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the GUI lint rules (witness-backed findings, SARIF export)",
+    )
+    p_lint.add_argument("project", help="project directory")
+    p_lint.add_argument("--rules", metavar="IDS",
+                        help="comma-separated rule ids/names to run "
+                        "(default: all; see docs/LINT.md)")
+    p_lint.add_argument("--disable", metavar="IDS",
+                        help="comma-separated rule ids/names to skip")
+    p_lint.add_argument("--severity", choices=("error", "warning"),
+                        help="report only findings at least this severe")
+    p_lint.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format: human text (default), "
+                        "repro.lint/1 JSON, or SARIF 2.1.0")
+    p_lint.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    p_lint.add_argument("--explain", metavar="UID",
+                        help="print the witness path of one finding "
+                        "(uid as shown in text output) and exit")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="diff findings against a committed repro.lint/1 "
+                        "document; exit 1 only on NEW findings")
+    p_lint.add_argument("--suppress", metavar="FILE",
+                        help="suppression file (finding uids or "
+                        "'<rule> <Class>:<line>' entries)")
+    p_lint.add_argument("--no-witness", action="store_true",
+                        help="skip provenance recording and witness paths "
+                        "(faster, plain findings)")
+    p_lint.add_argument("--solver", choices=("naive", "seminaive"),
+                        default="seminaive",
+                        help="fixed-point strategy (findings are identical)")
+    p_lint.add_argument("--profile", action="store_true",
+                        help="print solver + lint telemetry")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_run = sub.add_parser("run", help="execute the app in the interpreter")
     p_run.add_argument("project", help="project directory")

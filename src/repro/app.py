@@ -18,6 +18,21 @@ from repro.resources.manifest import Manifest
 from repro.resources.rtable import ResourceTable
 
 
+@dataclass(frozen=True)
+class SourceFile:
+    """One source text the app was compiled from.
+
+    ``path`` is project-relative (a synthetic ``<memory:n>`` name for
+    in-memory sources). Retained so source-level clients — the lint
+    engine's inline ``lint:disable`` suppressions, SARIF artifact
+    locations — can map findings back to files without re-reading the
+    project directory.
+    """
+
+    path: str
+    text: str
+
+
 @dataclass
 class AndroidApp:
     """A complete application: code, resources, manifest."""
@@ -26,6 +41,7 @@ class AndroidApp:
     program: Program
     resources: ResourceTable = field(default_factory=ResourceTable)
     manifest: Manifest = field(default_factory=Manifest)
+    sources: List[SourceFile] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         install_platform(self.program)

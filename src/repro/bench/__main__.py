@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench figure4
     python -m repro.bench casestudy
     python -m repro.bench ablation [APP ...]
+    python -m repro.bench lint [APP ...]
     python -m repro.bench perfsmoke
 
 ``--profile`` makes the Table 2 run collect ``repro.obs`` telemetry
@@ -20,6 +21,10 @@ solver stats (solve_seconds, rounds, ops scheduled/skipped) into
 ``perfsmoke`` is the CI scheduler regression guard: quick subset,
 fails (exit 1) if the semi-naive solver ever evaluates more rule
 instances than the naive sweep would.
+
+``lint`` benchmarks the lint pass per corpus app — wall time and the
+provenance-overhead ratio (provenance-on vs plain solve) — and
+merge-writes ``BENCH_lint.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -42,6 +47,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.bench.solverbench import main_perfsmoke
 
         print(main_perfsmoke())
+        return 0
+
+    if target == "lint":
+        from repro.bench import lintbench
+
+        print(lintbench.main(apps))
         return 0
 
     outputs: List[str] = []

@@ -1,0 +1,122 @@
+"""Lint benchmarking: lint-pass cost and provenance overhead per app.
+
+``python -m repro.bench lint`` analyzes every corpus app twice — once
+plain, once with the provenance sled enabled — runs the lint pass over
+the provenance-backed solution, and merge-writes the numbers into
+``BENCH_lint.json`` at the repo root so future PRs can track the cost
+of provenance::
+
+    {"schema": "repro.bench.lint/1",
+     "apps": {"APV": {"solve_seconds_plain": ...,
+                      "solve_seconds_provenance": ...,
+                      "provenance_overhead": ...,   # prov / plain
+                      "provenance_facts": ...,
+                      "lint_seconds": ...,
+                      "findings": ...,
+                      "findings_by_rule": {"GUI005": 5}}}}
+
+``provenance_overhead`` is a wall-clock ratio (provenance-on solve
+time over plain solve time, best of ``repeats``); the fact count is
+deterministic and anchors the memory story.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.core.analysis import AnalysisOptions, analyze
+from repro.corpus.apps import APP_SPECS, spec_by_name
+from repro.corpus.generator import generate_app
+from repro.lint import run_lint
+
+SCHEMA = "repro.bench.lint/1"
+
+DEFAULT_PATH = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "..", "BENCH_lint.json")
+)
+
+
+def load_bench(path: str = DEFAULT_PATH) -> Dict[str, object]:
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+        if data.get("schema") == SCHEMA:
+            return data
+    return {"schema": SCHEMA, "apps": {}}
+
+
+def update_bench(
+    apps: Dict[str, Dict[str, object]], path: str = DEFAULT_PATH
+) -> Dict[str, object]:
+    """Merge new per-app records into ``BENCH_lint.json``."""
+    data = load_bench(path)
+    data.setdefault("apps", {}).update(apps)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return data
+
+
+def lint_record(app, repeats: int = 1) -> Dict[str, object]:
+    """Benchmark one app: solve plain vs provenance, then lint."""
+    plain_best = prov_best = None
+    prov_result = None
+    for _ in range(max(1, repeats)):
+        plain = analyze(app, AnalysisOptions())
+        if plain_best is None or plain.solve_seconds < plain_best:
+            plain_best = plain.solve_seconds
+        prov = analyze(app, AnalysisOptions(provenance=True))
+        if prov_best is None or prov.solve_seconds < prov_best:
+            prov_best = prov.solve_seconds
+            prov_result = prov
+    start = time.perf_counter()
+    report = run_lint(prov_result)
+    lint_seconds = time.perf_counter() - start
+    by_rule: Dict[str, int] = {}
+    for finding in report.findings:
+        by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+    return {
+        "solve_seconds_plain": round(plain_best, 6),
+        "solve_seconds_provenance": round(prov_best, 6),
+        "provenance_overhead": round(prov_best / max(plain_best, 1e-9), 3),
+        "provenance_facts": prov_result.provenance.record_count(),
+        "lint_seconds": round(lint_seconds, 6),
+        "findings": len(report.findings),
+        "findings_by_rule": by_rule,
+    }
+
+
+def main(
+    app_names: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+    json_path: Optional[str] = DEFAULT_PATH,
+) -> str:
+    """Run the lint benchmark over the corpus; render and record."""
+    specs = (
+        [spec_by_name(n) for n in app_names] if app_names else list(APP_SPECS)
+    )
+    records: Dict[str, Dict[str, object]] = {}
+    lines = [
+        "Lint benchmark (provenance overhead = prov solve / plain solve)",
+        f"{'app':<14} {'plain(s)':>9} {'prov(s)':>9} {'overhead':>9} "
+        f"{'facts':>8} {'lint(s)':>8} {'findings':>9}",
+    ]
+    for spec in specs:
+        app = generate_app(spec)
+        record = lint_record(app, repeats=repeats)
+        records[spec.name] = record
+        lines.append(
+            f"{spec.name:<14} {record['solve_seconds_plain']:>9.4f} "
+            f"{record['solve_seconds_provenance']:>9.4f} "
+            f"{record['provenance_overhead']:>9.3f} "
+            f"{record['provenance_facts']:>8} "
+            f"{record['lint_seconds']:>8.4f} "
+            f"{record['findings']:>9}"
+        )
+    if json_path:
+        update_bench(records, path=json_path)
+        lines.append(f"records merged into {json_path}")
+    return "\n".join(lines)

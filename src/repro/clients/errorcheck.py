@@ -1,36 +1,36 @@
-"""Static error checker for GUI code (the checker clients of Section 6).
+"""Static error checker for GUI code (compatibility shim).
 
-Four checks, each a direct consumer of the reference analysis:
+The five checks of Section 6 now live in the lint engine as registered
+rules (:mod:`repro.lint.rules`) with stable ``GUI001``-style ids,
+severities, suppressions, and witness-path support. This module keeps
+the original client API — :func:`run_error_checks` returning a
+:class:`CheckReport` of check-name keyed :class:`Finding` objects — as
+a thin adapter over :func:`repro.lint.run_lint` so existing callers
+and the ``analyze --checks`` CLI keep working unchanged.
 
-* **unresolved-lookup** — a ``findViewById`` whose static result set is
-  empty: the searched id never appears in any hierarchy reaching the
-  receiver (typo'd id, missing ``setContentView``, wrong layout);
-* **bad-cast** — a cast applied to a find-view result where *no* value
-  in the incoming set satisfies the cast type: guaranteed
-  ``ClassCastException`` when executed;
-* **suspicious-cast** — some but not all incoming values satisfy the
-  cast (possible ``ClassCastException``);
-* **ambiguous-lookup** — a find-view result set with several distinct
-  views: duplicate ids reachable from one lookup, a common source of
-  "wrong widget" bugs;
-* **dead-listener** — a listener allocation that never reaches any
-  set-listener operation (handler code that can never run).
+Check-name ↔ rule-id mapping:
+
+=================== =======
+unresolved-lookup   GUI001
+ambiguous-lookup    GUI002
+bad-cast            GUI003
+suspicious-cast     GUI004
+dead-listener       GUI005
+=================== =======
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List
 
-from repro.core.nodes import OpArg, OpNode, OpRecv, Site, ValueNode, value_class_name
+from repro.core.nodes import Site
 from repro.core.results import AnalysisResult
-from repro.ir.statements import Cast, Invoke
-from repro.platform.api import OpKind
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One checker finding."""
+    """One checker finding (legacy shape: check name, site, message)."""
 
     check: str
     site: Site
@@ -51,102 +51,16 @@ class CheckReport:
         return len(self.findings)
 
 
-def _check_lookups(result: AnalysisResult, report: CheckReport) -> None:
-    for op in result.ops_of_kind(OpKind.FINDVIEW1, OpKind.FINDVIEW2):
-        ids = {
-            str(v)
-            for v in result.values_at(OpArg(op, 0))
-            if type(v).__name__ == "ViewIdNode"
-        }
-        # Only meaningful when the inputs resolved at all.
-        receivers = result.values_at(OpRecv(op))
-        if not ids or not receivers:
-            continue
-        results = result.op_results(op)
-        if not results:
-            report.findings.append(
-                Finding(
-                    "unresolved-lookup",
-                    op.site,
-                    f"findViewById({', '.join(sorted(ids))}) can never "
-                    "resolve to a view",
-                )
-            )
-        elif len(results) > 1:
-            names = ", ".join(sorted(str(v) for v in results))
-            report.findings.append(
-                Finding(
-                    "ambiguous-lookup",
-                    op.site,
-                    f"findViewById({', '.join(sorted(ids))}) may return any "
-                    f"of: {names}",
-                )
-            )
-
-
-def _check_casts(result: AnalysisResult, report: CheckReport) -> None:
-    hierarchy = result.hierarchy
-    for method in result.app.program.application_methods():
-        sig = method.sig
-        for index, stmt in enumerate(method.body):
-            if not isinstance(stmt, Cast):
-                continue
-            node = result.graph.lookup_var(sig, stmt.rhs)
-            if node is None:
-                continue
-            incoming = [
-                v for v in result.values_at(node) if result.is_view_value(v)
-            ]
-            if not incoming:
-                continue
-            passing = [
-                v
-                for v in incoming
-                if (cn := value_class_name(v)) is not None
-                and hierarchy.is_subtype(cn, stmt.type_name)
-            ]
-            site = Site(sig, index, stmt.line)
-            if not passing:
-                report.findings.append(
-                    Finding(
-                        "bad-cast",
-                        site,
-                        f"cast to {stmt.type_name} fails for every view "
-                        f"reaching {stmt.rhs!r} "
-                        f"({', '.join(sorted(str(v) for v in incoming))})",
-                    )
-                )
-            elif len(passing) < len(incoming):
-                failing = set(incoming) - set(passing)
-                report.findings.append(
-                    Finding(
-                        "suspicious-cast",
-                        site,
-                        f"cast to {stmt.type_name} fails for "
-                        f"{', '.join(sorted(str(v) for v in failing))}",
-                    )
-                )
-
-
-def _check_dead_listeners(result: AnalysisResult, report: CheckReport) -> None:
-    reaching: Set[ValueNode] = set()
-    for op in result.ops_of_kind(OpKind.SETLISTENER):
-        reaching.update(result.op_listener_args(op))
-    for alloc in result.graph.listener_allocs:
-        if alloc not in reaching:
-            report.findings.append(
-                Finding(
-                    "dead-listener",
-                    alloc.site,
-                    f"listener {alloc} is never registered on any view",
-                )
-            )
-
-
 def run_error_checks(result: AnalysisResult) -> CheckReport:
-    """Run all checks over a solved analysis."""
+    """Run all checks over a solved analysis (adapter over lint)."""
+    from repro.lint import LintOptions, run_lint
+    from repro.lint.rules import ALL_RULES
+
+    name_by_id: Dict[str, str] = {r.id: r.name for r in ALL_RULES}
+    lint_report = run_lint(result, LintOptions(witness=False))
     report = CheckReport()
-    _check_lookups(result, report)
-    _check_casts(result, report)
-    _check_dead_listeners(result, report)
+    for f in lint_report.findings:
+        report.findings.append(
+            Finding(name_by_id.get(f.rule_id, f.rule_id), f.site, f.message)
+        )
     return report

@@ -76,6 +76,15 @@ from repro.core.nodes import (
     ViewIdNode,
     value_class_name,
 )
+from repro.core.provenance import (
+    RULE_ASSIGN,
+    RULE_SEED,
+    Fact,
+    ProvenanceRecorder,
+    edge_fact,
+    flow_fact,
+    rel_fact,
+)
 from repro.core.results import AnalysisResult, XmlHandlerBinding
 from repro.hierarchy.cha import ClassHierarchy
 from repro.obs import names as obs_names
@@ -110,6 +119,13 @@ class AnalysisOptions:
     every claimed fixed point with one full naive sweep before
     accepting it (a debug net for scheduler bugs; if the sweep finds
     missed work it warns and keeps solving).
+
+    ``provenance`` (off by default) records, for every derived fact,
+    the inference rule and premise facts that first derived it (one
+    compact tuple per fact — see :mod:`repro.core.provenance`). It
+    works identically under both solver modes, never changes the
+    computed solution, and powers witness-path explanations in the
+    lint engine (:mod:`repro.lint`).
     """
 
     findview3_children_only_refinement: bool = True
@@ -118,6 +134,7 @@ class AnalysisOptions:
     max_rounds: int = 1000
     solver: str = "seminaive"
     seminaive_cross_check: bool = False
+    provenance: bool = False
 
     def __post_init__(self) -> None:
         if self.solver not in ("naive", "seminaive"):
@@ -184,6 +201,14 @@ class GuiReferenceAnalysis:
         self._cast_cache: Dict[Tuple[str, str], bool] = {}
         self.cast_cache_hits = 0
         self.cast_cache_misses = 0
+        # -- provenance sled (opt-in, see core/provenance.py) --------------
+        # Every recording site is guarded by ``is not None``, so the
+        # disabled path costs one branch; the recorder never feeds back
+        # into solving, so solutions are identical with it on or off.
+        self._prov: Optional[ProvenanceRecorder] = (
+            ProvenanceRecorder() if self.options.provenance else None
+        )
+        self.graph.provenance = self._prov
 
     # -- flowsTo maintenance ---------------------------------------------------
 
@@ -217,33 +242,70 @@ class GuiReferenceAnalysis:
             self._work.append((node, delta))
         return True
 
-    def _seed(self, value: ValueNode) -> None:
+    def _seed(
+        self,
+        value: ValueNode,
+        rule: str = RULE_SEED,
+        premises: Tuple[Fact, ...] = (),
+    ) -> None:
+        if self._prov is not None:
+            self._prov.record_flow(value, value, rule, premises)
         self._add_values(value, {value})
 
-    def _add_flow_dynamic(self, src: Node, dst: Node) -> bool:
+    def _add_flow_dynamic(
+        self,
+        src: Node,
+        dst: Node,
+        rule: Optional[str] = None,
+        premises: Tuple[Fact, ...] = (),
+    ) -> bool:
         """Add a flow edge discovered during solving and propagate.
 
         Only a *new* edge needs an explicit push of the source's
         current points-to set: once the edge exists, every later delta
         on ``src`` (including any still sitting in the worklist) is
         propagated across it by the drain loop, so re-pushing the full
-        set would only recompute an empty difference."""
+        set would only recompute an empty difference.
+
+        ``rule``/``premises`` record why the edge exists when the
+        provenance sled is enabled (edges from program statements are
+        axioms; these solver-made edges are derived facts)."""
         if not self.graph.add_flow(src, dst):
             return False
+        if self._prov is not None and rule is not None:
+            self._prov.record_edge(src, dst, rule, premises)
         existing = self.pts.get(src)
         if existing:
+            if self._prov is not None:
+                for v in existing:
+                    self._prov.record_flow(
+                        dst,
+                        v,
+                        RULE_ASSIGN,
+                        (flow_fact(src, v), edge_fact(src, dst)),
+                    )
             self._add_values(dst, existing)
         return True
 
     def _drain(self) -> bool:
         """Difference propagation for the naive mode (reference path)."""
         changed = False
+        prov = self._prov
         while self._work:
             node, delta = self._work.popleft()
             changed = True
             self.work_items += 1
             for succ in self.graph.flow_succ.get(node, ()):
-                self._add_values(succ, self._apply_filter(node, succ, delta))
+                values = self._apply_filter(node, succ, delta)
+                if prov is not None:
+                    for v in values:
+                        prov.record_flow(
+                            succ,
+                            v,
+                            RULE_ASSIGN,
+                            (flow_fact(node, v), edge_fact(node, succ)),
+                        )
+                self._add_values(succ, values)
         return changed
 
     def _drain_fast(self) -> bool:
@@ -267,6 +329,7 @@ class GuiReferenceAnalysis:
         filter_cached = self._filter_values_cached
         dirty = self._dirty
         node_deps = self._node_deps
+        prov = self._prov
         empty: Tuple[Tuple[Node, Optional[str]], ...] = ()
         while queue:
             node = queue.popleft()
@@ -295,6 +358,14 @@ class GuiReferenceAnalysis:
                     continue
                 current |= new
                 self.values_added += len(new)
+                if prov is not None:
+                    for v in new:
+                        prov.record_flow(
+                            succ,
+                            v,
+                            RULE_ASSIGN,
+                            (flow_fact(node, v), edge_fact(node, succ)),
+                        )
                 prior = pending.get(succ)
                 if prior is None:
                     pending[succ] = new
@@ -438,6 +509,10 @@ class GuiReferenceAnalysis:
             tracer.counter(
                 obs_names.COUNTER_CAST_CACHE_MISSES, self.cast_cache_misses
             )
+            if self._prov is not None:
+                tracer.counter(
+                    obs_names.COUNTER_PROV_FACTS, self._prov.record_count()
+                )
             if not self.converged:
                 tracer.counter(obs_names.COUNTER_MAX_ROUNDS_EXHAUSTED)
         return AnalysisResult(
@@ -458,6 +533,7 @@ class GuiReferenceAnalysis:
             solver=self.options.solver,
             ops_scheduled=self.ops_scheduled,
             ops_skipped=self.ops_skipped,
+            provenance=self._prov,
         )
 
     def _rel_edge_total(self) -> int:
@@ -740,24 +816,28 @@ class GuiReferenceAnalysis:
         tree = self.app.resources.layout(layout_id.name)
         graph = self.graph
         resources = self.app.resources
+        rule = op.kind.value
+        # Everything the instantiation creates is justified by the
+        # layout id reaching the operation's argument port.
+        layout_premise = (flow_fact(OpArg(op, 0), layout_id),)
 
         def instantiate(node: LayoutNode, path: Tuple[int, ...]) -> InflViewNode:
             infl = graph.infl_view(op.site, layout_id.name, path, node.view_class, node.id_name)
-            self._seed(infl)
+            self._seed(infl, rule, layout_premise)
             if node.id_name is not None:
                 id_node = graph.view_id(node.id_name, resources.view_id(node.id_name))
                 self._seed(id_node)
-                graph.add_rel(RelKind.HAS_ID, infl, id_node)
+                graph.add_rel(RelKind.HAS_ID, infl, id_node, rule, layout_premise)
             if node.on_click is not None:
                 self._onclick_names[infl] = node.on_click
             for child_index, child in enumerate(node.children):
                 child_infl = instantiate(child, path + (child_index,))
-                graph.add_rel(RelKind.CHILD, infl, child_infl)
+                graph.add_rel(RelKind.CHILD, infl, child_infl, rule, layout_premise)
             return infl
 
         root = instantiate(tree.root, ())
-        graph.add_rel(RelKind.INFL_ROOT, root, op)
-        graph.add_rel(RelKind.LAYOUT_ORIGIN, root, layout_id)
+        graph.add_rel(RelKind.INFL_ROOT, root, op, rule, layout_premise)
+        graph.add_rel(RelKind.LAYOUT_ORIGIN, root, layout_id, rule, layout_premise)
         self._inflated[key] = root
         return root
 
@@ -768,6 +848,10 @@ class GuiReferenceAnalysis:
             fresh = key not in self._inflated
             root = self._instantiate_layout(op, layout_id)
             changed |= fresh
+            if self._prov is not None:
+                self._prov.record_flow(
+                    op, root, op.kind.value, (flow_fact(OpArg(op, 0), layout_id),)
+                )
             changed |= self._add_values(op, {root})
         return changed
 
@@ -780,7 +864,16 @@ class GuiReferenceAnalysis:
             root = self._instantiate_layout(op, layout_id)
             changed |= fresh
             for holder in holders:
-                changed |= self.graph.add_rel(RelKind.ROOT, holder, root)
+                changed |= self.graph.add_rel(
+                    RelKind.ROOT,
+                    holder,
+                    root,
+                    op.kind.value,
+                    (
+                        flow_fact(OpRecv(op), holder),
+                        flow_fact(OpArg(op, 0), layout_id),
+                    ),
+                )
         return changed
 
     # Rules ADDVIEW1/ADDVIEW2.
@@ -789,7 +882,13 @@ class GuiReferenceAnalysis:
         changed = False
         for holder in self._activity_likes(OpRecv(op)):
             for view in self._views(OpArg(op, 0)):
-                changed |= self.graph.add_rel(RelKind.ROOT, holder, view)
+                changed |= self.graph.add_rel(
+                    RelKind.ROOT,
+                    holder,
+                    view,
+                    op.kind.value,
+                    (flow_fact(OpRecv(op), holder), flow_fact(OpArg(op, 0), view)),
+                )
         return changed
 
     def _op_addview2(self, op: OpNode) -> bool:
@@ -797,7 +896,16 @@ class GuiReferenceAnalysis:
         for parent in self._views(OpRecv(op)):
             for child in self._views(OpArg(op, 0)):
                 if parent is not child:
-                    changed |= self.graph.add_rel(RelKind.CHILD, parent, child)
+                    changed |= self.graph.add_rel(
+                        RelKind.CHILD,
+                        parent,
+                        child,
+                        op.kind.value,
+                        (
+                            flow_fact(OpRecv(op), parent),
+                            flow_fact(OpArg(op, 0), child),
+                        ),
+                    )
         return changed
 
     # Rule SETID.
@@ -806,7 +914,13 @@ class GuiReferenceAnalysis:
         changed = False
         for view in self._views(OpRecv(op)):
             for id_node in self._view_ids(OpArg(op, 0)):
-                changed |= self.graph.add_rel(RelKind.HAS_ID, view, id_node)
+                changed |= self.graph.add_rel(
+                    RelKind.HAS_ID,
+                    view,
+                    id_node,
+                    op.kind.value,
+                    (flow_fact(OpRecv(op), view), flow_fact(OpArg(op, 0), id_node)),
+                )
         return changed
 
     # Rule SETLISTENER plus callback modelling (end of Section 3).
@@ -822,9 +936,18 @@ class GuiReferenceAnalysis:
             for v in self.pts.get(OpArg(op, 0), ())
             if self._implements(v, spec.interface)
         }
+        rule = op.kind.value
+        recv = OpRecv(op)
+        arg = OpArg(op, 0)
         for view in views:
             for listener in listeners:
-                changed |= self.graph.add_rel(RelKind.LISTENER, view, listener)
+                changed |= self.graph.add_rel(
+                    RelKind.LISTENER,
+                    view,
+                    listener,
+                    rule,
+                    (flow_fact(recv, view), flow_fact(arg, listener)),
+                )
         for listener in listeners:
             handler = self._handler_method(listener, spec.handler, spec.handler_arity)
             if handler is None:
@@ -834,13 +957,23 @@ class GuiReferenceAnalysis:
                 self._bound_handlers.add(key)
                 changed = True
             # The platform callback y.n(x): listener to `this` ...
-            changed |= self._add_flow_dynamic(listener, self.graph.var(handler, "this"))
+            changed |= self._add_flow_dynamic(
+                listener,
+                self.graph.var(handler, "this"),
+                rule,
+                (flow_fact(arg, listener),),
+            )
             # ... and the view to the handler's view parameter.
             if spec.view_param_index is not None:
                 param = self._handler_view_param(handler, spec.view_param_index)
                 if param is not None:
                     for view in views:
-                        changed |= self._add_flow_dynamic(view, param)
+                        changed |= self._add_flow_dynamic(
+                            view,
+                            param,
+                            rule,
+                            (flow_fact(recv, view), flow_fact(arg, listener)),
+                        )
             # AdapterView families also pass the clicked row: any child
             # of the registered view (rows attached by adapters or
             # add-view) flows to the item parameter.
@@ -856,7 +989,15 @@ class GuiReferenceAnalysis:
                         # _add_flow_dynamic adds flow edges/values only,
                         # so iterating the live CHILD set is safe.
                         for child in children:
-                            changed |= self._add_flow_dynamic(child, param)
+                            changed |= self._add_flow_dynamic(
+                                child,
+                                param,
+                                rule,
+                                (
+                                    flow_fact(recv, view),
+                                    rel_fact(RelKind.CHILD, view, child),
+                                ),
+                            )
         return changed
 
     def _implements(self, value: ValueNode, interface: str) -> bool:
@@ -931,15 +1072,75 @@ class GuiReferenceAnalysis:
                 results.update(d for d in descendants if d in candidates)  # type: ignore[misc]
         return results
 
+    def _record_find_witnesses(
+        self,
+        op: OpNode,
+        starts: Set[ValueNode],
+        ids: Set[ViewIdNode],
+        results: Set[ValueNode],
+        holders_of: Optional[Dict[ValueNode, ValueNode]] = None,
+    ) -> None:
+        """Record a derivation for each new FindView1/2 result.
+
+        For a result ``v`` the witness is the lexicographically first
+        (start view, id) pair such that ``start ancestorOf v`` and
+        ``v hasId id``, with the ``ancestorOf`` premise expanded into
+        the explicit CHILD-edge chain. ``holders_of`` (FindView2) maps
+        each start root to the activity-like holder whose ROOT edge
+        contributed it. Runs only with provenance enabled."""
+        prov = self._prov
+        assert prov is not None
+        graph = self.graph
+        rule = op.kind.value
+        recv = OpRecv(op)
+        arg = OpArg(op, 0)
+        for v in results:
+            if (op, v) in prov.flow:
+                continue
+            for start in sorted(starts, key=str):
+                if not graph.ancestor_of(start, v):
+                    continue
+                v_ids = graph.rel_view(RelKind.HAS_ID, v)
+                id_node = next(
+                    (i for i in sorted(ids, key=str) if i in v_ids), None
+                )
+                if id_node is None:
+                    continue
+                premises: List[Fact] = []
+                if holders_of is None:
+                    premises.append(flow_fact(recv, start))
+                else:
+                    holder = holders_of[start]
+                    premises.append(flow_fact(recv, holder))
+                    premises.append(rel_fact(RelKind.ROOT, holder, start))
+                premises.append(flow_fact(arg, id_node))
+                path = graph.child_path(start, v) or [start]
+                for parent, child in zip(path, path[1:]):
+                    premises.append(rel_fact(RelKind.CHILD, parent, child))
+                premises.append(rel_fact(RelKind.HAS_ID, v, id_node))
+                prov.record_flow(op, v, rule, tuple(premises))
+                break
+
     def _op_findview1(self, op: OpNode) -> bool:
-        results = self._find_by_id(self._views(OpRecv(op)), self._view_ids(OpArg(op, 0)))
+        starts = self._views(OpRecv(op))
+        ids = self._view_ids(OpArg(op, 0))
+        results = self._find_by_id(starts, ids)
+        if results and self._prov is not None:
+            self._record_find_witnesses(op, starts, ids, results)
         return self._add_values(op, results) if results else False
 
     def _op_findview2(self, op: OpNode) -> bool:
         roots: Set[ValueNode] = set()
         for holder in self._activity_likes(OpRecv(op)):
             roots.update(self.graph.rel(RelKind.ROOT, holder))  # type: ignore[arg-type]
-        results = self._find_by_id(roots, self._view_ids(OpArg(op, 0)))
+        ids = self._view_ids(OpArg(op, 0))
+        results = self._find_by_id(roots, ids)
+        if results and self._prov is not None:
+            holders_of: Dict[ValueNode, ValueNode] = {}
+            for holder in sorted(self._activity_likes(OpRecv(op)), key=str):
+                for root in self.graph.rel_view(RelKind.ROOT, holder):
+                    holders_of.setdefault(root, holder)  # type: ignore[arg-type]
+            self._record_find_witnesses(op, roots, ids, results, holders_of)
         return self._add_values(op, results) if results else False
 
     def _op_findview3(self, op: OpNode) -> bool:
@@ -959,6 +1160,24 @@ class GuiReferenceAnalysis:
                 results.update(self.graph.descendants_cached(view))  # type: ignore[arg-type]
             else:
                 results.update(self.graph.descendants_of(view, include_self=True))
+        if results and self._prov is not None:
+            prov = self._prov
+            rule = op.kind.value
+            recv = OpRecv(op)
+            for v in results:
+                if (op, v) in prov.flow:
+                    continue
+                for view in sorted(self._views(recv), key=str):
+                    path = self.graph.child_path(view, v)
+                    if path is None:
+                        continue
+                    premises = [flow_fact(recv, view)]
+                    premises.extend(
+                        rel_fact(RelKind.CHILD, parent, child)
+                        for parent, child in zip(path, path[1:])
+                    )
+                    prov.record_flow(op, v, rule, tuple(premises))
+                    break
         return self._add_values(op, results) if results else False
 
     def _op_getparent(self, op: OpNode) -> bool:
@@ -969,6 +1188,28 @@ class GuiReferenceAnalysis:
                 results.update(self.graph.rel_back_view(RelKind.CHILD, view))  # type: ignore[arg-type]
             else:
                 results.update(self.graph.parents_of(view))  # type: ignore[arg-type]
+        if results and self._prov is not None:
+            prov = self._prov
+            rule = op.kind.value
+            recv = OpRecv(op)
+            for v in results:
+                if (op, v) in prov.flow:
+                    continue
+                child = next(
+                    (
+                        c
+                        for c in sorted(self._views(recv), key=str)
+                        if c in self.graph.rel_view(RelKind.CHILD, v)
+                    ),
+                    None,
+                )
+                if child is not None:
+                    prov.record_flow(
+                        op,
+                        v,
+                        rule,
+                        (flow_fact(recv, child), rel_fact(RelKind.CHILD, v, child)),
+                    )
         return self._add_values(op, results) if results else False
 
     # Fragment extension (not in the paper's implementation).
@@ -977,6 +1218,11 @@ class GuiReferenceAnalysis:
         """Managers/transactions alias the activity that owns them: the
         activity-like receiver values flow straight through."""
         holders = self._activity_likes(OpRecv(op))
+        if holders and self._prov is not None:
+            for holder in holders:
+                self._prov.record_flow(
+                    op, holder, op.kind.value, (flow_fact(OpRecv(op), holder),)
+                )
         return self._add_values(op, holders) if holders else False
 
     def _callback_view_roots(
@@ -985,6 +1231,8 @@ class GuiReferenceAnalysis:
         method_name: str,
         arities: Tuple[int, ...],
         op: Optional[OpNode] = None,
+        rule: str = "Callback",
+        premises: Tuple[Fact, ...] = (),
     ) -> Set[ValueNode]:
         """Views returned by ``value``'s framework-invoked view factory
         (a fragment's ``onCreateView``, an adapter's ``getView``).
@@ -995,6 +1243,8 @@ class GuiReferenceAnalysis:
         When ``op`` is given (semi-naive mode), the reading op is
         registered as a dynamic dependent of the factory's return
         variables, so later points-to growth there reschedules it.
+        ``rule``/``premises`` justify the callback edge to the
+        factory's ``this`` when provenance is recorded.
         """
         class_name = value_class_name(value)
         if class_name is None:
@@ -1009,7 +1259,9 @@ class GuiReferenceAnalysis:
         owner = self.app.program.clazz(method.class_name)
         if owner is None or owner.is_platform:
             return set()
-        self._add_flow_dynamic(value, self.graph.var(method.sig, "this"))
+        self._add_flow_dynamic(
+            value, self.graph.var(method.sig, "this"), rule, premises
+        )
         roots: Set[ValueNode] = set()
         from repro.ir.statements import Return
 
@@ -1022,10 +1274,16 @@ class GuiReferenceAnalysis:
         return roots
 
     def _fragment_roots(
-        self, fragment: ValueNode, op: Optional[OpNode] = None
+        self,
+        fragment: ValueNode,
+        op: Optional[OpNode] = None,
+        rule: str = "Callback",
+        premises: Tuple[Fact, ...] = (),
     ) -> Set[ValueNode]:
         """Views returned by the fragment's onCreateView override."""
-        return self._callback_view_roots(fragment, "onCreateView", (0, 3), op=op)
+        return self._callback_view_roots(
+            fragment, "onCreateView", (0, 3), op=op, rule=rule, premises=premises
+        )
 
     def _op_fragment_tx(self, op: OpNode) -> bool:
         """``tx.add(containerId, fragment)``: the fragment's view
@@ -1054,11 +1312,31 @@ class GuiReferenceAnalysis:
                     for view in self.graph.descendants_of(root):
                         if self.graph.rel(RelKind.HAS_ID, view) & ids:
                             containers.add(view)  # type: ignore[arg-type]
+        rule = op.kind.value
+        prov = self._prov
         for fragment in fragments:
-            for froot in self._fragment_roots(fragment, op=op):
+            fragment_premise = (flow_fact(OpArg(op, 1), fragment),)
+            for froot in self._fragment_roots(
+                fragment, op=op, rule=rule, premises=fragment_premise
+            ):
                 for container in containers:
-                    if container is not froot:
+                    if container is froot:
+                        continue
+                    if prov is None:
                         changed |= self.graph.add_rel(RelKind.CHILD, container, froot)
+                        continue
+                    container_ids = self.graph.rel_view(RelKind.HAS_ID, container)
+                    cid = next(
+                        (i for i in sorted(ids, key=str) if i in container_ids),
+                        None,
+                    )
+                    premises: List[Fact] = [flow_fact(OpArg(op, 1), fragment)]
+                    if cid is not None:
+                        premises.insert(0, flow_fact(OpArg(op, 0), cid))
+                        premises.append(rel_fact(RelKind.HAS_ID, container, cid))
+                    changed |= self.graph.add_rel(
+                        RelKind.CHILD, container, froot, rule, tuple(premises)
+                    )
         return changed
 
     # Adapter extension: AdapterView.setAdapter(adapter).
@@ -1076,11 +1354,24 @@ class GuiReferenceAnalysis:
         if not adapters:
             return False
         parents = self._views(OpRecv(op))
+        rule = op.kind.value
         for adapter in adapters:
-            for row in self._callback_view_roots(adapter, "getView", (0, 3), op=op):
+            adapter_premise = (flow_fact(OpArg(op, 0), adapter),)
+            for row in self._callback_view_roots(
+                adapter, "getView", (0, 3), op=op, rule=rule, premises=adapter_premise
+            ):
                 for parent in parents:
                     if parent is not row:
-                        changed |= self.graph.add_rel(RelKind.CHILD, parent, row)
+                        changed |= self.graph.add_rel(
+                            RelKind.CHILD,
+                            parent,
+                            row,
+                            rule,
+                            (
+                                flow_fact(OpRecv(op), parent),
+                                flow_fact(OpArg(op, 0), adapter),
+                            ),
+                        )
         return changed
 
     # Options-menu extension.
@@ -1092,6 +1383,7 @@ class GuiReferenceAnalysis:
         ``android:onClick`` handler."""
         changed = False
         owner_class = op.site.method.class_name
+        rule = op.kind.value
         for menu_id in {
             v for v in self.pts.get(OpArg(op, 0), ()) if isinstance(v, MenuIdNode)
         }:
@@ -1100,19 +1392,20 @@ class GuiReferenceAnalysis:
                 continue
             self._inflated_menus.add(key)
             changed = True
+            menu_premise = (flow_fact(OpArg(op, 0), menu_id),)
             menu = self.app.resources.menu(menu_id.name)
             for index, item_def in enumerate(menu.items):
                 item = self.graph.menu_item(
                     op.site, menu_id.name, index, item_def.id_name
                 )
-                self._seed(item)
+                self._seed(item, rule, menu_premise)
                 self.menu_items_by_class.setdefault(owner_class, []).append(item)
                 if item_def.id_name is not None:
                     id_node = self.graph.view_id(
                         item_def.id_name, self.app.resources.view_id(item_def.id_name)
                     )
                     self._seed(id_node)
-                    self.graph.add_rel(RelKind.HAS_ID, item, id_node)
+                    self.graph.add_rel(RelKind.HAS_ID, item, id_node, rule, menu_premise)
                 for handler_name, arity in (
                     (item_def.on_click, 1),
                     ("onOptionsItemSelected", 1),
@@ -1126,7 +1419,9 @@ class GuiReferenceAnalysis:
                     if owner is None or owner.is_platform:
                         continue
                     param = self.graph.var(method.sig, method.param_names[0])
-                    self._add_flow_dynamic(item, param)
+                    self._add_flow_dynamic(
+                        item, param, rule, (flow_fact(item, item),)
+                    )
         return changed
 
     # -- android:onClick binding (extension) -------------------------------------------
@@ -1186,7 +1481,12 @@ class GuiReferenceAnalysis:
             return False
         self._bound_xml.add(key)
         param = self.graph.var(method.sig, method.param_names[0])
-        self._add_flow_dynamic(view, param)
+        xml_premises = (flow_fact(act, act), flow_fact(view, view))
+        self._add_flow_dynamic(view, param, "XmlOnClick", xml_premises)
+        if self._prov is not None:
+            self._prov.record_flow(
+                self.graph.var(method.sig, "this"), act, "XmlOnClick", xml_premises
+            )
         self._add_values(self.graph.var(method.sig, "this"), {act})
         self.xml_handlers.append(XmlHandlerBinding(act.class_name, view, method.sig))
         return True

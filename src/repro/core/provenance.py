@@ -1,0 +1,129 @@
+"""Derivation provenance for the fixed-point solver (opt-in).
+
+When ``AnalysisOptions.provenance`` is enabled, the solver records —
+for every ``flowsTo`` fact, relationship edge, and dynamically added
+flow edge — the inference rule and the premise facts that *first*
+derived it. The record is deliberately compact: one ``(rule,
+premises)`` tuple per fact, first derivation wins, nothing is ever
+updated or removed, so memory is linear in the number of facts and the
+recorder never influences solving (both solver modes produce
+byte-identical solutions with provenance on or off).
+
+Facts are plain tagged tuples so they can double as premise references
+without extra allocation:
+
+* ``("flow", node, value)`` — ``value`` flows to pointer node ``node``
+  (the paper's ``flowsTo(value, node)``);
+* ``("rel", kind, src, dst)`` — relationship edge ``src ⇒ dst`` with
+  label ``kind`` (``child``/``has_id``/``root``/... — ``ancestorOf``
+  facts are witnessed as chains of ``child`` premises);
+* ``("edge", src, dst)`` — a flow edge. Edges created during solving
+  (listener callbacks, ``android:onClick`` bindings, factory-method
+  modelling) carry a derivation; edges from program statements are
+  axioms of the constraint graph.
+
+The witness-path reconstructor (:mod:`repro.lint.witness`) walks these
+records backwards to sources — allocation sites, ``R.layout``/``R.id``
+constants, layout trees — and renders a step-by-step justification for
+any fact a client (e.g. the lint engine) wants to explain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+# Fact tags.
+FLOW = "flow"
+REL = "rel"
+EDGE = "edge"
+
+# A fact is ("flow", node, value) | ("rel", kind, src, dst) |
+# ("edge", src, dst); a derivation is (rule_name, premise_facts).
+Fact = Tuple[object, ...]
+Derivation = Tuple[str, Tuple[Fact, ...]]
+
+# Rule names shared by the recorder, the solver, and the renderer.
+RULE_SEED = "Seed"
+RULE_ASSIGN = "Assign"
+
+
+def flow_fact(node: object, value: object) -> Fact:
+    return (FLOW, node, value)
+
+
+def rel_fact(kind: object, src: object, dst: object) -> Fact:
+    return (REL, kind, src, dst)
+
+
+def edge_fact(src: object, dst: object) -> Fact:
+    return (EDGE, src, dst)
+
+
+class ProvenanceRecorder:
+    """First-wins derivation store for one analysis run.
+
+    Exactly one derivation is kept per fact (the first recorded one);
+    later recordings of the same fact are ignored in O(1). The solver
+    records eagerly at every site that can add a fact, so "first
+    recorded" coincides with "first derived".
+    """
+
+    __slots__ = ("flow", "rel", "edge")
+
+    def __init__(self) -> None:
+        self.flow: Dict[Tuple[object, object], Derivation] = {}
+        self.rel: Dict[Tuple[object, object, object], Derivation] = {}
+        self.edge: Dict[Tuple[object, object], Derivation] = {}
+
+    # -- recording (first wins) ------------------------------------------------
+
+    def record_flow(
+        self,
+        node: object,
+        value: object,
+        rule: str,
+        premises: Tuple[Fact, ...] = (),
+    ) -> None:
+        key = (node, value)
+        if key not in self.flow:
+            self.flow[key] = (rule, premises)
+
+    def record_rel(
+        self,
+        kind: object,
+        src: object,
+        dst: object,
+        rule: str,
+        premises: Tuple[Fact, ...] = (),
+    ) -> None:
+        key = (kind, src, dst)
+        if key not in self.rel:
+            self.rel[key] = (rule, premises)
+
+    def record_edge(
+        self,
+        src: object,
+        dst: object,
+        rule: str,
+        premises: Tuple[Fact, ...] = (),
+    ) -> None:
+        key = (src, dst)
+        if key not in self.edge:
+            self.edge[key] = (rule, premises)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def derivation(self, fact: Fact) -> Optional[Derivation]:
+        """The recorded derivation of ``fact``, or None (axiom/unknown)."""
+        tag = fact[0]
+        if tag == FLOW:
+            return self.flow.get((fact[1], fact[2]))
+        if tag == REL:
+            return self.rel.get((fact[1], fact[2], fact[3]))
+        if tag == EDGE:
+            return self.edge.get((fact[1], fact[2]))
+        return None
+
+    def record_count(self) -> int:
+        """Total derivations recorded (= distinct facts witnessed)."""
+        return len(self.flow) + len(self.rel) + len(self.edge)

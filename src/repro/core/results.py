@@ -33,6 +33,7 @@ from repro.platform.events import EventKind, ListenerSpec, spec_for_interface
 if TYPE_CHECKING:  # pragma: no cover
     from repro.app import AndroidApp
     from repro.core.analysis import AnalysisOptions
+    from repro.core.provenance import ProvenanceRecorder
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,10 @@ class AnalysisResult:
     solver: str = "seminaive"
     ops_scheduled: int = 0
     ops_skipped: int = 0
+    # Derivation recorder populated when ``AnalysisOptions.provenance``
+    # was enabled for the run; None otherwise. Input to the witness-path
+    # reconstructor (repro.lint.witness).
+    provenance: Optional["ProvenanceRecorder"] = None
 
     # -- flowsTo queries ----------------------------------------------------
 

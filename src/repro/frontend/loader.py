@@ -15,7 +15,7 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.app import AndroidApp
+from repro.app import AndroidApp, SourceFile
 from repro.frontend.lowering import compile_sources
 from repro.hierarchy.cha import ClassHierarchy
 from repro.resources.manifest import Manifest, parse_manifest_xml
@@ -30,14 +30,22 @@ def load_app_from_sources(
     layouts: Optional[Dict[str, str]] = None,
     manifest_xml: Optional[str] = None,
     menus: Optional[Dict[str, str]] = None,
+    source_paths: Optional[Sequence[str]] = None,
 ) -> AndroidApp:
     """Build an app from in-memory source and layout texts.
 
     ``layouts`` maps layout names to XML texts (``menus`` likewise for
     menu resources). When no manifest is given, every activity subclass
-    is declared, first one as launcher.
+    is declared, first one as launcher. ``source_paths``, when given,
+    names each source text (project-relative) for source-level clients
+    like lint suppressions; otherwise synthetic names are used.
     """
     program = compile_sources(list(sources))
+    if source_paths is None:
+        source_paths = [f"<memory:{i}>" for i in range(len(sources))]
+    source_files = [
+        SourceFile(path=p, text=t) for p, t in zip(source_paths, sources)
+    ]
     resources = ResourceTable()
     for layout_name, xml in (layouts or {}).items():
         resources.add_layout(parse_layout_xml(layout_name, xml))
@@ -53,7 +61,13 @@ def load_app_from_sources(
         for clazz in program.application_classes():
             if hierarchy.is_activity_class(clazz.name) and not clazz.is_interface:
                 manifest.add_activity(clazz.name, launcher=not manifest.activities)
-    return AndroidApp(name=name, program=program, resources=resources, manifest=manifest)
+    return AndroidApp(
+        name=name,
+        program=program,
+        resources=resources,
+        manifest=manifest,
+        sources=source_files,
+    )
 
 
 def load_app_from_dir(path: str, name: Optional[str] = None) -> AndroidApp:
@@ -61,13 +75,18 @@ def load_app_from_dir(path: str, name: Optional[str] = None) -> AndroidApp:
     if name is None:
         name = os.path.basename(os.path.abspath(path))
     sources: List[str] = []
+    source_paths: List[str] = []
     src_root = os.path.join(path, "src")
     if os.path.isdir(src_root):
         for dirpath, _dirs, files in os.walk(src_root):
             for filename in sorted(files):
                 if filename.endswith((".alite", ".java")):
-                    with open(os.path.join(dirpath, filename), encoding="utf-8") as f:
+                    full = os.path.join(dirpath, filename)
+                    with open(full, encoding="utf-8") as f:
                         sources.append(f.read())
+                    source_paths.append(
+                        os.path.relpath(full, path).replace(os.sep, "/")
+                    )
     # Projects may ship code as Dalvik text instead of (or alongside)
     # sources — e.g. corpora dumped by repro.corpus.export.
     smali_path = os.path.join(path, "classes.smali")
@@ -96,4 +115,6 @@ def load_app_from_dir(path: str, name: Optional[str] = None) -> AndroidApp:
     if os.path.isfile(manifest_path):
         with open(manifest_path, encoding="utf-8") as f:
             manifest_xml = f.read()
-    return load_app_from_sources(name, sources, layouts, manifest_xml, menus=menus)
+    return load_app_from_sources(
+        name, sources, layouts, manifest_xml, menus=menus, source_paths=source_paths
+    )

@@ -1,0 +1,116 @@
+"""Witness-path reconstruction from solver provenance records.
+
+Given a :class:`~repro.core.provenance.ProvenanceRecorder` populated
+during solving (``AnalysisOptions.provenance``), walk the derivation of
+any fact backwards to its sources — allocation sites, ``R.layout`` /
+``R.id`` constants, constraint-graph edges from program statements —
+and render a step-by-step justification.
+
+Each step names the inference rule and the premise facts it consumed,
+so a reader can replay the derivation against the rule tables in
+``docs/ALGORITHM.md``. Steps come out in dependency order (premises
+before conclusions, the explained fact last), each fact appearing at
+most once. Facts with no recorded derivation are *axioms*: inputs the
+constraint-graph builder created directly from program statements,
+layouts, or the manifest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.provenance import EDGE, FLOW, REL, Fact, ProvenanceRecorder
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One step of a witness path.
+
+    ``rule`` is the inference rule that first derived ``fact`` (None
+    for axioms), ``premises`` the facts the rule consumed.
+    """
+
+    fact: Fact
+    rule: Optional[str]
+    premises: Tuple[Fact, ...] = ()
+
+    @property
+    def is_axiom(self) -> bool:
+        return self.rule is None
+
+
+def render_fact(fact: Fact) -> str:
+    """Human syntax for a fact, matching the paper's notation."""
+    tag = fact[0]
+    if tag == FLOW:
+        # provenance stores ("flow", node, value); the paper writes
+        # flowsTo(value, node).
+        return f"flowsTo({fact[2]}, {fact[1]})"
+    if tag == REL:
+        kind = getattr(fact[1], "value", fact[1])
+        return f"rel[{kind}]({fact[2]} => {fact[3]})"
+    if tag == EDGE:
+        return f"flowEdge({fact[1]} -> {fact[2]})"
+    return str(fact)
+
+
+def render_step(step: WitnessStep) -> str:
+    head = render_fact(step.fact)
+    if step.is_axiom:
+        return f"{head}  [axiom]"
+    if not step.premises:
+        return f"{head}  <= {step.rule}"
+    premises = "; ".join(render_fact(p) for p in step.premises)
+    return f"{head}  <= {step.rule}({premises})"
+
+
+def reconstruct_witness(
+    prov: ProvenanceRecorder, fact: Fact, max_steps: int = 200
+) -> List[WitnessStep]:
+    """Derivation steps for ``fact``, premises-first, ``fact`` last.
+
+    Iterative postorder DFS over the premise DAG with a cycle guard
+    (first-wins recording makes cycles impossible in practice, but a
+    malformed recorder must not hang the renderer). ``max_steps``
+    truncates pathological derivations; the explained fact is always
+    the final step.
+    """
+    steps: List[WitnessStep] = []
+    emitted: Dict[Fact, None] = {}
+    # (fact, expanded?) — expanded means premises already pushed.
+    stack: List[Tuple[Fact, bool]] = [(fact, False)]
+    on_path: Dict[Fact, None] = {}
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            on_path.pop(current, None)
+            if current in emitted:
+                continue
+            emitted[current] = None
+            derivation = prov.derivation(current)
+            if derivation is None:
+                steps.append(WitnessStep(current, None))
+            else:
+                steps.append(WitnessStep(current, derivation[0], derivation[1]))
+            continue
+        if current in emitted or current in on_path:
+            continue
+        on_path[current] = None
+        stack.append((current, True))
+        derivation = prov.derivation(current)
+        if derivation is not None and len(steps) < max_steps:
+            # Reversed so premises pop (and emit) in recorded order.
+            for premise in reversed(derivation[1]):
+                stack.append((premise, False))
+    if len(steps) > max_steps:
+        # Keep the head of the derivation and the conclusion.
+        steps = steps[: max_steps - 1] + [steps[-1]]
+    return steps
+
+
+def render_witness(steps: List[WitnessStep]) -> List[str]:
+    """Render steps as numbered lines (sources first, conclusion last)."""
+    return [
+        f"  {i}. {render_step(step)}" for i, step in enumerate(steps, start=1)
+    ]

@@ -19,6 +19,7 @@ PHASE_LOAD = "load"  # frontend: project directory -> AndroidApp
 PHASE_BUILD = "build"  # constraint-graph construction (builder.py)
 PHASE_SOLVE = "solve"  # the fixed-point solver (analysis.py)
 PHASE_CLIENTS = "clients"  # Section 6 clients (tuples/transitions/checks/taint)
+PHASE_LINT = "lint"  # lint rule evaluation (lint/engine.py), attrs: app
 SPAN_APP = "app"  # bench harness: one analyzed app (attrs: app)
 
 # -- solver events -----------------------------------------------------------
@@ -38,6 +39,17 @@ COUNTER_XML_ONCLICK_BOUND = "solver.xml_onclick_bound"
 # Bumped once per solve() that hit AnalysisOptions.max_rounds without
 # reaching the fixed point (the convergence warning).
 COUNTER_MAX_ROUNDS_EXHAUSTED = "solver.max_rounds_exhausted"
+# Total derivations recorded by the provenance sled, emitted once per
+# solve() and only when ``AnalysisOptions.provenance`` is enabled.
+COUNTER_PROV_FACTS = "solver.provenance_facts"
+
+# -- lint counters -----------------------------------------------------------
+#
+# Emitted once per run_lint() with that run's totals (after severity
+# filtering, suppression, and dedupe).
+
+COUNTER_LINT_FINDINGS = "lint.findings"
+COUNTER_LINT_SUPPRESSED = "lint.suppressed"
 
 # -- scheduler counters (semi-naive solver) ----------------------------------
 #

@@ -42,3 +42,22 @@ class TestGoldens:
         result = analyze(app)
         assert print_program(app.program) == golden("connectbot_ir.txt")
         assert run_figure4(result) == golden("figure4.txt")
+
+
+class TestLintGoldens:
+    """Corpus-wide lint output is pinned (regen_goldens.py rebuilds)."""
+
+    def test_lint_corpus(self):
+        from regen_goldens import build_lint_corpus_text
+
+        assert build_lint_corpus_text() == golden("lint_corpus.txt")
+
+    def test_lint_buggy_with_witnesses(self):
+        from regen_goldens import build_lint_buggy_text
+
+        assert build_lint_buggy_text() == golden("lint_buggy.txt")
+
+    def test_lint_notepad_sarif(self):
+        from regen_goldens import build_lint_notepad_sarif
+
+        assert build_lint_notepad_sarif() == golden("lint_notepad.sarif")

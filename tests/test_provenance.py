@@ -1,0 +1,198 @@
+"""Tests for the solver's derivation-provenance sled and witness paths.
+
+Covers: the recorder itself (first-wins, dispatch), solver integration
+in both scheduler modes (coverage of every flowsTo fact, solution
+identity with provenance on/off), and the witness-path reconstructor
+(ordering, axioms, memoization, cycle guard, truncation).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import analyze
+from repro.core.analysis import AnalysisOptions
+from repro.core.diff import solution_fingerprint
+from repro.core.provenance import (
+    EDGE,
+    FLOW,
+    REL,
+    ProvenanceRecorder,
+    edge_fact,
+    flow_fact,
+    rel_fact,
+)
+from repro.corpus.connectbot import build_connectbot_example
+from repro.frontend import load_app_from_dir
+from repro.lint.witness import (
+    reconstruct_witness,
+    render_fact,
+    render_step,
+    render_witness,
+    WitnessStep,
+)
+
+EXAMPLES = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples", "projects"
+)
+
+
+def _fingerprint(result) -> str:
+    return json.dumps(solution_fingerprint(result), sort_keys=True)
+
+
+class TestRecorder:
+    def test_first_derivation_wins(self):
+        rec = ProvenanceRecorder()
+        rec.record_flow("n", "v", "RuleA", (flow_fact("x", "v"),))
+        rec.record_flow("n", "v", "RuleB")
+        assert rec.derivation(flow_fact("n", "v")) == (
+            "RuleA",
+            (flow_fact("x", "v"),),
+        )
+
+    def test_dispatch_by_tag(self):
+        rec = ProvenanceRecorder()
+        rec.record_flow("n", "v", "F")
+        rec.record_rel("child", "a", "b", "R")
+        rec.record_edge("s", "d", "E")
+        assert rec.derivation(flow_fact("n", "v"))[0] == "F"
+        assert rec.derivation(rel_fact("child", "a", "b"))[0] == "R"
+        assert rec.derivation(edge_fact("s", "d"))[0] == "E"
+        assert rec.derivation(flow_fact("n", "other")) is None
+        assert rec.derivation(("bogus", 1, 2)) is None
+
+    def test_record_count(self):
+        rec = ProvenanceRecorder()
+        assert rec.record_count() == 0
+        rec.record_flow("n", "v", "F")
+        rec.record_rel("child", "a", "b", "R")
+        rec.record_edge("s", "d", "E")
+        rec.record_edge("s", "d", "E2")  # ignored: first wins
+        assert rec.record_count() == 3
+
+
+class TestSolverIntegration:
+    def test_off_by_default(self):
+        result = analyze(build_connectbot_example())
+        assert result.provenance is None
+
+    @pytest.mark.parametrize("solver", ["naive", "seminaive"])
+    def test_every_flow_fact_has_a_derivation(self, solver):
+        result = analyze(
+            build_connectbot_example(),
+            AnalysisOptions(solver=solver, provenance=True),
+        )
+        prov = result.provenance
+        assert prov is not None and prov.record_count() > 0
+        missing = [
+            (node, v)
+            for node, values in result.pts.items()
+            for v in values
+            if (node, v) not in prov.flow
+        ]
+        assert missing == []
+
+    def test_solution_identical_with_and_without_provenance(self):
+        app = load_app_from_dir(os.path.join(EXAMPLES, "notepad"))
+        fingerprints = {
+            _fingerprint(analyze(app, AnalysisOptions(solver=s, provenance=p)))
+            for s in ("naive", "seminaive")
+            for p in (False, True)
+        }
+        assert len(fingerprints) == 1
+
+    def test_rel_and_edge_derivations_recorded(self):
+        result = analyze(
+            build_connectbot_example(), AnalysisOptions(provenance=True)
+        )
+        prov = result.provenance
+        assert prov.rel, "no relationship derivations recorded"
+        rules_seen = {rule for rule, _ in prov.rel.values()}
+        # Inflation populates HAS_ID/CHILD edges; listener registration
+        # populates LISTENER edges.
+        assert any("Inflate" in r or "SetContentView" in r for r in rules_seen)
+        assert prov.edge, "no dynamic flow-edge derivations recorded"
+
+    def test_premises_reference_recorded_or_axiom_facts(self):
+        """Premise facts form a DAG over recorded facts and axioms."""
+        result = analyze(
+            build_connectbot_example(), AnalysisOptions(provenance=True)
+        )
+        prov = result.provenance
+        for (node, value), (_rule, premises) in list(prov.flow.items())[:200]:
+            for premise in premises:
+                assert premise[0] in (FLOW, REL, EDGE)
+
+
+class TestWitnessReconstruction:
+    def _prov_result(self):
+        app = load_app_from_dir(os.path.join(EXAMPLES, "buggy"))
+        return analyze(app, AnalysisOptions(provenance=True))
+
+    def test_conclusion_last_premises_first(self):
+        result = self._prov_result()
+        prov = result.provenance
+        # Pick a derived (non-seed) fact: any flow with premises.
+        fact = None
+        for (node, value), (rule, premises) in prov.flow.items():
+            if premises:
+                fact = flow_fact(node, value)
+                break
+        assert fact is not None
+        steps = reconstruct_witness(prov, fact)
+        assert steps[-1].fact == fact
+        emitted = set()
+        for step in steps:
+            for premise in step.premises:
+                if prov.derivation(premise) is not None:
+                    assert premise in emitted, "premise after its use"
+            emitted.add(step.fact)
+
+    def test_each_fact_appears_once(self):
+        result = self._prov_result()
+        prov = result.provenance
+        (node, value) = next(iter(prov.flow))
+        steps = reconstruct_witness(prov, flow_fact(node, value))
+        facts = [s.fact for s in steps]
+        assert len(facts) == len(set(facts))
+
+    def test_axioms_marked(self):
+        rec = ProvenanceRecorder()
+        rec.record_flow("n", "v", "Rule", (edge_fact("a", "n"),))
+        steps = reconstruct_witness(rec, flow_fact("n", "v"))
+        assert [s.is_axiom for s in steps] == [True, False]
+
+    def test_cycle_guard_terminates(self):
+        rec = ProvenanceRecorder()
+        # Malformed: a fact derived from itself must not hang.
+        rec.record_flow("n", "v", "Loop", (flow_fact("n", "v"),))
+        steps = reconstruct_witness(rec, flow_fact("n", "v"))
+        assert len(steps) == 1
+
+    def test_max_steps_truncates_but_keeps_conclusion(self):
+        rec = ProvenanceRecorder()
+        prev = None
+        for i in range(50):
+            premises = (flow_fact(f"n{i - 1}", "v"),) if prev else ()
+            rec.record_flow(f"n{i}", "v", "Chain", premises)
+            prev = f"n{i}"
+        target = flow_fact("n49", "v")
+        steps = reconstruct_witness(rec, target, max_steps=10)
+        assert len(steps) <= 10
+        assert steps[-1].fact == target
+
+    def test_render_formats(self):
+        assert render_fact(flow_fact("n", "v")) == "flowsTo(v, n)"
+        assert render_fact(edge_fact("a", "b")) == "flowEdge(a -> b)"
+        assert "rel[child]" in render_fact(rel_fact("child", "a", "b"))
+        axiom = WitnessStep(edge_fact("a", "b"), None)
+        assert render_step(axiom).endswith("[axiom]")
+        derived = WitnessStep(
+            flow_fact("n", "v"), "Rule", (edge_fact("a", "n"),)
+        )
+        rendered = render_step(derived)
+        assert "<= Rule(" in rendered and "flowEdge(a -> n)" in rendered
+        lines = render_witness([axiom, derived])
+        assert lines[0].startswith("  1. ") and lines[1].startswith("  2. ")
