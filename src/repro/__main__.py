@@ -12,6 +12,10 @@ Usage::
                                      [--explain UID] [--baseline FILE]
                                      [--suppress FILE] [--no-witness]
                                      [--solver naive|seminaive] [--profile]
+    python -m repro batch [TARGET ...] [--jobs N] [--timeout SECONDS]
+                          [--retries N] [--continue-on-error]
+                          [--output FILE] [--solver naive|seminaive]
+                          [--profile]
     python -m repro run PROJECT_DIR [--seed N]
     python -m repro disasm PROJECT_DIR [-o FILE]
 
@@ -247,6 +251,46 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.findings else 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core.analysis import AnalysisOptions
+    from repro.runner import (
+        BatchOptions,
+        exit_code,
+        render_batch,
+        run_batch,
+        to_report,
+        write_report,
+    )
+
+    tracer = None
+    if args.profile:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    options = BatchOptions(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        continue_on_error=args.continue_on_error,
+        analysis=AnalysisOptions(solver=args.solver),
+    )
+    try:
+        result = run_batch(args.targets or None, options, tracer=tracer)
+    except ValueError as exc:  # unknown target, bad option combination
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_batch(result))
+    if args.output:
+        write_report(to_report(result), args.output)
+        print(f"batch report written to {args.output}")
+    if tracer is not None:
+        from repro.bench.reporting import render_telemetry
+
+        print()
+        print(render_telemetry(tracer))
+    return exit_code(result)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro import analyze
     from repro.semantics import check_soundness, run_app
@@ -356,6 +400,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--profile", action="store_true",
                         help="print solver + lint telemetry")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="analyze many apps in fault-isolated parallel workers "
+        "(repro.batch/1 report, see docs/RUNNER.md)",
+    )
+    p_batch.add_argument(
+        "targets", nargs="*",
+        help="corpus app names and/or project directories "
+        "(default: the full 20-app evaluation corpus)")
+    p_batch.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="concurrent worker processes (default 1; "
+                         "every app still runs in its own process)")
+    p_batch.add_argument("--timeout", type=float, metavar="SECONDS",
+                         help="per-app wall-clock budget; a worker over "
+                         "budget is killed and recorded as 'timeout'")
+    p_batch.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="relaunches after a worker exception/crash "
+                         "(default 1; timeouts are never retried)")
+    p_batch.add_argument("--continue-on-error", action="store_true",
+                         help="keep scheduling apps after a failure instead "
+                         "of skipping the rest (partial results either way)")
+    p_batch.add_argument("--output", metavar="FILE",
+                         help="write the repro.batch/1 JSON report to FILE")
+    p_batch.add_argument("--solver", choices=("naive", "seminaive"),
+                         default="seminaive",
+                         help="fixed-point strategy used by the workers")
+    p_batch.add_argument("--profile", action="store_true",
+                         help="print batch telemetry (batch.* counters, "
+                         "per-app events)")
+    p_batch.set_defaults(func=_cmd_batch)
 
     p_run = sub.add_parser("run", help="execute the app in the interpreter")
     p_run.add_argument("project", help="project directory")

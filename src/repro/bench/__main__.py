@@ -3,8 +3,8 @@
 Usage::
 
     python -m repro.bench all
-    python -m repro.bench table1 [APP ...]
-    python -m repro.bench table2 [--profile] [--json] [APP ...]
+    python -m repro.bench table1 [--jobs N] [APP ...]
+    python -m repro.bench table2 [--profile] [--json] [--jobs N] [APP ...]
     python -m repro.bench figure3
     python -m repro.bench figure4
     python -m repro.bench casestudy
@@ -25,6 +25,12 @@ instances than the naive sweep would.
 ``lint`` benchmarks the lint pass per corpus app — wall time and the
 provenance-overhead ratio (provenance-on vs plain solve) — and
 merge-writes ``BENCH_lint.json`` at the repo root.
+
+``--jobs N`` fans the per-app work of ``table1``/``table2``/``lint``
+out over the fault-isolated batch runner (``repro.runner``, see
+``docs/RUNNER.md``); per-app results are identical to the serial path.
+``table2 --profile`` collects cross-app telemetry and therefore always
+runs serially.
 """
 
 from __future__ import annotations
@@ -38,6 +44,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile = "--profile" in args
     emit_json = "--json" in args
     args = [a for a in args if a not in ("--profile", "--json")]
+    jobs = 1
+    if "--jobs" in args:
+        at = args.index("--jobs")
+        try:
+            jobs = int(args[at + 1])
+        except (IndexError, ValueError):
+            print("error: --jobs requires an integer", file=sys.stderr)
+            return 2
+        del args[at:at + 2]
     target = args[0] if args else "all"
     apps = args[1:] or None
 
@@ -52,19 +67,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if target == "lint":
         from repro.bench import lintbench
 
-        print(lintbench.main(apps))
+        print(lintbench.main(apps, jobs=jobs))
         return 0
 
     outputs: List[str] = []
     if target in ("table1", "all"):
-        outputs.append(table1.main(apps))
+        outputs.append(table1.main(apps, jobs=jobs))
     if target in ("table2", "all"):
         json_path = None
         if emit_json:
             from repro.bench.solverbench import DEFAULT_PATH
 
             json_path = DEFAULT_PATH
-        outputs.append(table2.main(apps, profile=profile, json_path=json_path))
+        outputs.append(
+            table2.main(apps, profile=profile, json_path=json_path, jobs=jobs)
+        )
     if target in ("figure3", "all"):
         outputs.append(figures.main_figure3())
     if target in ("figure4", "all"):

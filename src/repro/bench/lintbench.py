@@ -89,12 +89,26 @@ def lint_record(app, repeats: int = 1) -> Dict[str, object]:
     }
 
 
+def _lint_job(app, options, repeats: int) -> Dict[str, object]:
+    """Worker-side job: the full plain/provenance/lint benchmark."""
+    del options  # lint_record drives its own AnalysisOptions pair
+    return lint_record(app, repeats=repeats)
+
+
 def main(
     app_names: Optional[Sequence[str]] = None,
     repeats: int = 3,
     json_path: Optional[str] = DEFAULT_PATH,
+    jobs: int = 1,
 ) -> str:
-    """Run the lint benchmark over the corpus; render and record."""
+    """Run the lint benchmark over the corpus; render and record.
+
+    ``jobs > 1`` fans the per-app benchmarks out over the
+    fault-isolated batch runner; each worker still times its own app
+    in isolation, so the recorded wall-clock ratios stay meaningful
+    (workers compete for cores, so absolute times are noisier — keep
+    ``jobs`` at or below the physical core count).
+    """
     specs = (
         [spec_by_name(n) for n in app_names] if app_names else list(APP_SPECS)
     )
@@ -104,10 +118,23 @@ def main(
         f"{'app':<14} {'plain(s)':>9} {'prov(s)':>9} {'overhead':>9} "
         f"{'facts':>8} {'lint(s)':>8} {'findings':>9}",
     ]
+    if jobs > 1:
+        from repro.runner import BatchOptions, run_batch
+
+        batch = run_batch(
+            [s.name for s in specs],
+            BatchOptions(jobs=jobs, continue_on_error=True),
+            job=_lint_job,
+            job_args=(repeats,),
+        )
+        batch.require_ok()
+        records = batch.payloads()
+    else:
+        for spec in specs:
+            app = generate_app(spec)
+            records[spec.name] = lint_record(app, repeats=repeats)
     for spec in specs:
-        app = generate_app(spec)
-        record = lint_record(app, repeats=repeats)
-        records[spec.name] = record
+        record = records[spec.name]
         lines.append(
             f"{spec.name:<14} {record['solve_seconds_plain']:>9.4f} "
             f"{record['solve_seconds_provenance']:>9.4f} "

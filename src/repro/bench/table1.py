@@ -50,11 +50,35 @@ class Table1Row:
         )
 
 
-def run_table1(app_names: Optional[Sequence[str]] = None) -> List[Table1Row]:
-    """Generate + analyze the corpus and compute the Table 1 rows."""
+def _table1_job(app, options) -> GraphStats:
+    """Worker-side job: analyze one app and return its Table 1 stats."""
+    return compute_graph_stats(analyze(app, options))
+
+
+def run_table1(
+    app_names: Optional[Sequence[str]] = None, jobs: int = 1
+) -> List[Table1Row]:
+    """Generate + analyze the corpus and compute the Table 1 rows.
+
+    With ``jobs > 1`` the apps fan out over the fault-isolated batch
+    runner (identical per-app results — the workers run the same
+    ``generate_app`` + ``analyze`` pipeline); row order always follows
+    the spec list.
+    """
     specs = [
         s for s in APP_SPECS if app_names is None or s.name in set(app_names)
     ]
+    if jobs > 1:
+        from repro.runner import BatchOptions, run_batch
+
+        batch = run_batch(
+            [s.name for s in specs],
+            BatchOptions(jobs=jobs, continue_on_error=True),
+            job=_table1_job,
+        )
+        batch.require_ok()
+        stats = batch.payloads()
+        return [Table1Row(spec=s, stats=stats[s.name]) for s in specs]
     rows: List[Table1Row] = []
     for spec in specs:
         result = analyze(generate_app(spec))
@@ -70,8 +94,8 @@ def format_table1(rows: Sequence[Table1Row]) -> str:
     )
 
 
-def main(app_names: Optional[Sequence[str]] = None) -> str:
-    rows = run_table1(app_names)
+def main(app_names: Optional[Sequence[str]] = None, jobs: int = 1) -> str:
+    rows = run_table1(app_names, jobs=jobs)
     text = format_table1(rows)
     mismatches = [row.spec.name for row in rows if not row.matches_spec()]
     if mismatches:

@@ -61,18 +61,53 @@ class Table2Row:
         return abs(self.metrics.receivers - self.spec.paper.receivers)
 
 
+def _table2_job(app, options) -> Dict[str, object]:
+    """Worker-side job: precision metrics + solver record for one app."""
+    from repro.bench.solverbench import solver_record
+
+    result = analyze(app, options)
+    return {
+        "metrics": compute_precision(result),
+        "solver": solver_record(result),
+    }
+
+
 def run_table2(
-    app_names: Optional[Sequence[str]] = None, tracer: Optional[Tracer] = None
+    app_names: Optional[Sequence[str]] = None,
+    tracer: Optional[Tracer] = None,
+    jobs: int = 1,
 ) -> List[Table2Row]:
     """Analyze the requested corpus apps and collect Table 2 rows.
 
     With a ``tracer`` every app is analyzed inside an ``app`` span
     (attr ``app``), so one tracer accumulates telemetry for the whole
-    run — build/solve timings nest per app, counters aggregate.
+    run — build/solve timings nest per app, counters aggregate. A
+    tracer forces serial in-process execution (telemetry cannot cross
+    worker processes); otherwise ``jobs > 1`` fans the apps out over
+    the fault-isolated batch runner. Measured times are per-app solver
+    times, so parallelism does not distort the Time(s) column.
     """
     specs = [
         s for s in APP_SPECS if app_names is None or s.name in set(app_names)
     ]
+    if jobs > 1 and tracer is None:
+        from repro.runner import BatchOptions, run_batch
+
+        batch = run_batch(
+            [s.name for s in specs],
+            BatchOptions(jobs=jobs, continue_on_error=True),
+            job=_table2_job,
+        )
+        batch.require_ok()
+        payloads = batch.payloads()
+        return [
+            Table2Row(
+                spec=s,
+                metrics=payloads[s.name]["metrics"],
+                solver_record=payloads[s.name]["solver"],
+            )
+            for s in specs
+        ]
     from repro.bench.solverbench import solver_record
 
     rows: List[Table2Row] = []
@@ -106,9 +141,10 @@ def main(
     app_names: Optional[Sequence[str]] = None,
     profile: bool = False,
     json_path: Optional[str] = None,
+    jobs: int = 1,
 ) -> str:
     tracer = Tracer() if profile else None
-    rows = run_table2(app_names, tracer=tracer)
+    rows = run_table2(app_names, tracer=tracer, jobs=jobs)
     text = format_table2(rows)
     drifts = [d for row in rows if (d := row.receivers_drift()) is not None]
     if drifts:

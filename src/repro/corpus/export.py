@@ -31,13 +31,17 @@ def dump_app(app: AndroidApp, path: str) -> None:
     os.makedirs(os.path.join(path, "res", "layout"), exist_ok=True)
     with open(os.path.join(path, "classes.smali"), "w", encoding="utf-8") as f:
         f.write(assemble_program(app.program))
-    for name in app.resources.layout_names():
+    # Write resources in sorted-name order so a dump is byte-stable
+    # regardless of resource-table insertion order; the loaders on the
+    # other end (load_dumped_app, load_app_from_dir) sort their
+    # directory listings, so id assignment round-trips deterministically.
+    for name in sorted(app.resources.layout_names()):
         tree = app.resources.layout(name)
         with open(
             os.path.join(path, "res", "layout", f"{name}.xml"), "w", encoding="utf-8"
         ) as f:
             f.write(layout_to_xml(tree))
-    menu_names = app.resources.menu_names()
+    menu_names = sorted(app.resources.menu_names())
     if menu_names:
         os.makedirs(os.path.join(path, "res", "menu"), exist_ok=True)
         for name in menu_names:
@@ -52,7 +56,7 @@ def dump_app(app: AndroidApp, path: str) -> None:
         os.path.join(path, "res", "values", "ids.xml"), "w", encoding="utf-8"
     ) as f:
         f.write("<resources>\n")
-        for id_name in app.resources.view_id_names():
+        for id_name in sorted(app.resources.view_id_names()):
             f.write(f'  <item type="id" name="{id_name}"/>\n')
         f.write("</resources>\n")
     with open(os.path.join(path, "AndroidManifest.xml"), "w", encoding="utf-8") as f:

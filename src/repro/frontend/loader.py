@@ -40,9 +40,16 @@ def load_app_from_sources(
     names each source text (project-relative) for source-level clients
     like lint suppressions; otherwise synthetic names are used.
     """
-    program = compile_sources(list(sources))
     if source_paths is None:
         source_paths = [f"<memory:{i}>" for i in range(len(sources))]
+    elif len(source_paths) != len(sources):
+        # zip() would silently drop the unmatched tail, leaving lint
+        # suppressions and SARIF locations pointing at the wrong files.
+        raise ValueError(
+            f"source_paths has {len(source_paths)} entries for "
+            f"{len(sources)} sources; lengths must match"
+        )
+    program = compile_sources(list(sources))
     source_files = [
         SourceFile(path=p, text=t) for p, t in zip(source_paths, sources)
     ]
@@ -78,7 +85,11 @@ def load_app_from_dir(path: str, name: Optional[str] = None) -> AndroidApp:
     source_paths: List[str] = []
     src_root = os.path.join(path, "src")
     if os.path.isdir(src_root):
-        for dirpath, _dirs, files in os.walk(src_root):
+        for dirpath, dirs, files in os.walk(src_root):
+            # os.walk yields directories in filesystem order; sorting in
+            # place fixes the traversal so source order (hence synthetic
+            # paths, node ids, and goldens) is filesystem-independent.
+            dirs.sort()
             for filename in sorted(files):
                 if filename.endswith((".alite", ".java")):
                     full = os.path.join(dirpath, filename)

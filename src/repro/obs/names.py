@@ -43,6 +43,22 @@ COUNTER_MAX_ROUNDS_EXHAUSTED = "solver.max_rounds_exhausted"
 # solve() and only when ``AnalysisOptions.provenance`` is enabled.
 COUNTER_PROV_FACTS = "solver.provenance_facts"
 
+# -- batch-runner span/event/counters ----------------------------------------
+#
+# Emitted by ``repro.runner.run_batch`` in the *parent* process (worker
+# processes never inherit the tracer). ``batch.apps`` counts the
+# targets submitted; ``batch.failed``/``batch.timeout`` count final
+# quarantined outcomes; ``batch.retries`` counts relaunches. One
+# ``batch.app`` event fires per finished app (attrs: app, status,
+# attempts, seconds).
+
+SPAN_BATCH = "batch"  # the whole batch run, attrs: jobs
+EVENT_BATCH_APP = "batch.app"
+COUNTER_BATCH_APPS = "batch.apps"
+COUNTER_BATCH_FAILED = "batch.failed"
+COUNTER_BATCH_TIMEOUT = "batch.timeout"
+COUNTER_BATCH_RETRIES = "batch.retries"
+
 # -- lint counters -----------------------------------------------------------
 #
 # Emitted once per run_lint() with that run's totals (after severity

@@ -8,6 +8,7 @@ of layout definitions.
 
 from __future__ import annotations
 
+import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -38,7 +39,7 @@ def parse_menu_xml(name: str, text: str) -> MenuDef:
     """Parse one menu file. ``<group>`` children are flattened."""
     try:
         root = parse_android_xml(text)
-    except Exception as exc:  # ET.ParseError
+    except ET.ParseError as exc:
         raise LayoutXmlError(f"{name}: XML parse error: {exc}") from exc
     if root.tag != "menu":
         raise LayoutXmlError(f"{name}: menu file must have a <menu> root")

@@ -1,0 +1,58 @@
+"""Fault-isolated parallel batch analysis over app corpora.
+
+The runner fans a list of targets (corpus spec names or project
+directories) out over isolated worker processes with per-app
+timeouts, crash quarantine, bounded retry, and graceful degradation
+to partial results. See ``docs/RUNNER.md``.
+
+    from repro.runner import BatchOptions, run_batch
+
+    result = run_batch()                  # full 20-app corpus, serial
+    result = run_batch(["APV", "path/to/project"],
+                       BatchOptions(jobs=4, timeout=120.0))
+    result.require_ok()
+"""
+
+from repro.runner.report import (
+    SCHEMA,
+    exit_code,
+    render_batch,
+    to_report,
+    write_report,
+)
+from repro.runner.runner import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    AppOutcome,
+    BatchOptions,
+    BatchResult,
+    run_batch,
+)
+from repro.runner.tasks import (
+    BatchTarget,
+    analyze_job,
+    fingerprint_hash,
+    resolve_targets,
+)
+
+__all__ = [
+    "SCHEMA",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SKIPPED",
+    "STATUS_TIMEOUT",
+    "AppOutcome",
+    "BatchOptions",
+    "BatchResult",
+    "BatchTarget",
+    "analyze_job",
+    "exit_code",
+    "fingerprint_hash",
+    "render_batch",
+    "resolve_targets",
+    "run_batch",
+    "to_report",
+    "write_report",
+]

@@ -1,0 +1,115 @@
+"""The ``repro.batch/1`` report: schema assembly, text rendering, I/O.
+
+Schema (JSON, stable keys, documented in ``docs/RUNNER.md``)::
+
+    {"schema": "repro.batch/1",
+     "jobs": 4, "timeout": 120.0, "retries": 1,
+     "elapsed_seconds": 3.21,
+     "summary": {"apps": 20, "ok": 19, "failed": 1, "timeout": 0,
+                 "skipped": 0, "retried": 0},
+     "apps": {"APV": {"status": "ok", "attempts": 1, "retried": false,
+                      "seconds": 0.41, "error": null,
+                      "result": {"fingerprint": "...", "solver": {...},
+                                 "stats": {...}, "precision": {...}}},
+              "broken": {"status": "failed", ...,
+                         "error": {"type": "...", "message": "...",
+                                   "traceback": "..."}}}}
+
+``result`` carries the job payload when it is JSON-representable (the
+default :func:`repro.runner.tasks.analyze_job` payload always is);
+bench-internal jobs returning arbitrary picklable objects render as
+``null`` here and are consumed via :meth:`BatchResult.payloads`.
+
+The report is *always* valid, including after crashes, timeouts, and
+fail-fast aborts — partial results are the point of the runner.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.runner.runner import (
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    BatchResult,
+)
+
+SCHEMA = "repro.batch/1"
+
+_STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMEOUT, STATUS_SKIPPED)
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def to_report(result: BatchResult) -> Dict[str, object]:
+    """Assemble the versioned ``repro.batch/1`` document."""
+    apps: Dict[str, object] = {}
+    for outcome in result.outcomes:
+        payload = outcome.payload if _json_safe(outcome.payload) else None
+        apps[outcome.name] = {
+            "status": outcome.status,
+            "attempts": outcome.attempts,
+            "retried": outcome.retried,
+            "seconds": round(outcome.seconds, 6),
+            "error": outcome.error,
+            "result": payload,
+        }
+    summary = {"apps": len(result.outcomes)}
+    for status in _STATUSES:
+        summary[status] = len(result.by_status(status))
+    summary["retried"] = sum(1 for o in result.outcomes if o.retried)
+    return {
+        "schema": SCHEMA,
+        "jobs": result.options.jobs,
+        "timeout": result.options.timeout,
+        "retries": result.options.retries,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "summary": summary,
+        "apps": apps,
+    }
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def render_batch(result: BatchResult) -> str:
+    """Human-readable batch summary (one line per app)."""
+    lines: List[str] = [
+        f"Batch: {len(result.outcomes)} app(s), jobs={result.options.jobs}, "
+        f"elapsed {result.elapsed_seconds:.2f}s"
+    ]
+    name_width = max((len(o.name) for o in result.outcomes), default=4)
+    for outcome in result.outcomes:
+        note = ""
+        if outcome.retried:
+            note = f"  (attempt {outcome.attempts})"
+        if outcome.error is not None:
+            message = str(outcome.error.get("message", "")).splitlines()
+            note += f"  {outcome.error.get('type')}: {message[0] if message else ''}"
+        lines.append(
+            f"  {outcome.name:<{name_width}}  {outcome.status:<7} "
+            f"{outcome.seconds:>7.2f}s{note}"
+        )
+    summary = to_report(result)["summary"]
+    lines.append(
+        "  ok={ok} failed={failed} timeout={timeout} skipped={skipped} "
+        "retried={retried}".format(**summary)
+    )
+    return "\n".join(lines)
+
+
+def exit_code(result: BatchResult) -> int:
+    """0 when every app analyzed cleanly, 1 otherwise."""
+    return 0 if result.ok() else 1

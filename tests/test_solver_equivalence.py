@@ -27,6 +27,9 @@ EXAMPLE_PROJECTS = sorted(
     name
     for name in os.listdir(EXAMPLES_DIR)
     if os.path.isdir(os.path.join(EXAMPLES_DIR, name))
+    # examples/projects/broken deliberately fails to load (it exercises
+    # the batch runner's quarantine path) — not an analyzable project.
+    and name != "broken"
 )
 
 _APP_CACHE = {}
